@@ -1,0 +1,1 @@
+bench/experiments.ml: Convex Core Costmodel Format Kernels Lazy List Machine Mdg Numeric Printf String Sys

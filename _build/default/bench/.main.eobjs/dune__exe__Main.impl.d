@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Convex Core Experiments Hashtbl Instance Kernels List Machine Mdg Measure Numeric Printf Staged String Sys Test Time Toolkit

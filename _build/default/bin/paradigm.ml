@@ -1,0 +1,347 @@
+(* paradigm — command-line driver for the mixed task/data-parallelism
+   compilation pipeline.
+
+   Subcommands:
+     graph      print an MDG (ASCII or Graphviz DOT)
+     fit        calibrate cost-model parameters against the machine
+     allocate   solve the convex allocation problem
+     schedule   allocate + run the PSA, print the schedule
+     simulate   full pipeline + MPMD execution on the simulated machine
+     compile    parse a matrix program from a file and run the pipeline *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument handling                                            *)
+(* ------------------------------------------------------------------ *)
+
+type machine_kind = Cm5 | Ideal
+
+let machine_conv =
+  let parse = function
+    | "cm5" -> Ok Cm5
+    | "ideal" -> Ok Ideal
+    | s -> Error (`Msg (Printf.sprintf "unknown machine %S (cm5|ideal)" s))
+  in
+  let print fmt = function
+    | Cm5 -> Format.fprintf fmt "cm5"
+    | Ideal -> Format.fprintf fmt "ideal"
+  in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  let doc =
+    "Simulated machine: $(b,cm5) (CM-5 constants with realistic \
+     perturbations) or $(b,ideal) (cost models are exact)."
+  in
+  Arg.(value & opt machine_conv Cm5 & info [ "machine" ] ~docv:"MACHINE" ~doc)
+
+let ground_truth = function
+  | Cm5 -> Machine.Ground_truth.cm5_like ()
+  | Ideal -> Machine.Ground_truth.ideal ()
+
+(* A program spec is "complex[:N]", "strassen[:N]", "example", or a
+   path to a matrix-program source file. *)
+type program_spec = {
+  name : string;
+  graph : Mdg.Graph.t;
+  kernels : Mdg.Graph.kernel list;
+}
+
+let load_program ?(optimise = false) spec =
+  let with_size s default =
+    match String.index_opt s ':' with
+    | None -> (s, default)
+    | Some i -> (
+        let base = String.sub s 0 i in
+        let num = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt num with
+        | Some n when n >= 1 -> (base, n)
+        | _ -> failwith (Printf.sprintf "bad size in program spec %S" s))
+  in
+  match with_size spec 0 with
+  | "complex", n ->
+      let n = if n = 0 then 64 else n in
+      let g, _ = Kernels.Complex_mm.graph ~n () in
+      {
+        name = Printf.sprintf "complex matrix multiply (%dx%d)" n n;
+        graph = g;
+        kernels = Kernels.Complex_mm.kernels ~n;
+      }
+  | "strassen", n ->
+      let n = if n = 0 then 128 else n in
+      let g, _ = Kernels.Strassen_mdg.graph ~n () in
+      {
+        name = Printf.sprintf "strassen matrix multiply (%dx%d)" n n;
+        graph = g;
+        kernels = Kernels.Strassen_mdg.kernels ~n;
+      }
+  | "strassen2", n ->
+      let n = if n = 0 then 128 else n in
+      {
+        name = Printf.sprintf "two-level strassen (%dx%d)" n n;
+        graph = Kernels.Strassen_mdg.graph_recursive ~levels:2 ~n;
+        kernels = Kernels.Strassen_mdg.kernels_recursive ~levels:2 ~n;
+      }
+  | "example", _ ->
+      {
+        name = "paper figure-1 example";
+        graph = Kernels.Example_mdg.graph ();
+        kernels = [];
+      }
+  | _ ->
+      if not (Sys.file_exists spec) then
+        failwith
+          (Printf.sprintf
+             "unknown program %S (expected complex[:N], strassen[:N], \
+              strassen2[:N], example or a file path)"
+             spec);
+      let ic = open_in spec in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      let prog = Frontend.Parse.program_of_string text in
+      let prog = if optimise then Frontend.Opt.optimise prog else prog in
+      let g, _ = Frontend.Lower.to_mdg prog in
+      { name = spec; graph = g; kernels = Frontend.Lower.kernels prog }
+
+let program_arg =
+  let doc =
+    "Program to compile: $(b,complex)[:N], $(b,strassen)[:N], \
+     $(b,strassen2)[:N] (two recursion levels), $(b,example), or a path to a \
+     matrix-program source file."
+  in
+  Arg.(
+    required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let procs_arg =
+  let doc = "Number of processors in the target machine." in
+  Arg.(value & opt int 64 & info [ "p"; "procs" ] ~docv:"PROCS" ~doc)
+
+let optimise_arg =
+  let doc =
+    "Run the front-end optimiser (CSE + dead-code elimination) before \
+     lowering.  Only affects programs loaded from source files."
+  in
+  Arg.(value & flag & info [ "O"; "optimise" ] ~doc)
+
+let calibrated_params gt spec =
+  if spec.kernels = [] then Costmodel.Params.cm5 ()
+  else
+    let params, _, _ =
+      Machine.Measure.calibrate gt ~procs:[ 1; 2; 4; 8; 16; 32; 64 ] spec.kernels
+    in
+    params
+
+let check_procs procs =
+  if procs < 1 then failwith "processor count must be >= 1"
+
+(* ------------------------------------------------------------------ *)
+(* graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let graph_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of ASCII.")
+  in
+  let run spec dot optimise =
+    let p = load_program ~optimise spec in
+    Printf.printf "# %s: %s\n" p.name (Mdg.Render.summary p.graph);
+    if dot then print_string (Mdg.Render.to_dot p.graph)
+    else print_string (Mdg.Render.to_ascii p.graph)
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print a program's macro dataflow graph.")
+    Term.(const run $ program_arg $ dot $ optimise_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fit                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fit_cmd =
+  let run machine =
+    let gt = ground_truth machine in
+    Printf.printf "machine: %s\n\n" (Machine.Ground_truth.describe gt);
+    let kernels =
+      [
+        Mdg.Graph.Matrix_init 64;
+        Mdg.Graph.Matrix_add 64;
+        Mdg.Graph.Matrix_multiply 64;
+        Mdg.Graph.Matrix_init 128;
+      ]
+    in
+    let params, qualities, tf =
+      Machine.Measure.calibrate gt ~procs:[ 1; 2; 4; 8; 16; 32; 64 ] kernels
+    in
+    Format.printf "processing parameters (training-sets fit):@.";
+    List.iter
+      (fun (kernel, (q : Costmodel.Fit.quality)) ->
+        Format.printf "  %a : %a  (r^2 = %.5f)@." Mdg.Graph.pp_kernel kernel
+          Costmodel.Params.pp_processing
+          (Costmodel.Params.processing params kernel)
+          q.r_squared)
+      qualities;
+    Format.printf "@.transfer parameters:@.  %a@." Costmodel.Params.pp_transfer
+      tf.params
+  in
+  Cmd.v
+    (Cmd.info "fit"
+       ~doc:"Calibrate cost-model parameters against the simulated machine.")
+    Term.(const run $ machine_arg)
+
+(* ------------------------------------------------------------------ *)
+(* allocate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let allocate_cmd =
+  let run spec procs machine optimise =
+    check_procs procs;
+    let p = load_program ~optimise spec in
+    let gt = ground_truth machine in
+    let params = calibrated_params gt p in
+    let g = Mdg.Graph.normalise p.graph in
+    let r = Core.Allocation.solve params g ~procs in
+    Printf.printf "program        : %s\n" p.name;
+    Printf.printf "processors     : %d\n" procs;
+    Printf.printf "Phi            : %.6f s\n" r.phi;
+    Printf.printf "  average bound: %.6f s\n" r.average;
+    Printf.printf "  critical path: %.6f s\n" r.critical_path;
+    Printf.printf "solver         : %d iterations, converged = %b\n\n"
+      r.solver.iterations r.solver.converged;
+    Array.iteri
+      (fun i a ->
+        Printf.printf "  node %2d %-26s p_i = %7.3f\n" i
+          (Mdg.Graph.node g i).label a)
+      r.alloc
+  in
+  Cmd.v
+    (Cmd.info "allocate"
+       ~doc:"Solve the convex-programming processor allocation (paper Sec. 2).")
+    Term.(const run $ program_arg $ procs_arg $ machine_arg $ optimise_arg)
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_cmd =
+  let pb =
+    let doc = "Processor bound PB (power of two). Default: Corollary 1." in
+    Arg.(value & opt (some int) None & info [ "pb" ] ~docv:"PB" ~doc)
+  in
+  let run spec procs machine pb optimise =
+    check_procs procs;
+    let p = load_program ~optimise spec in
+    let gt = ground_truth machine in
+    let params = calibrated_params gt p in
+    let options =
+      match pb with
+      | None -> Core.Psa.default_options
+      | Some pb -> { Core.Psa.default_options with pb = Core.Psa.Fixed pb }
+    in
+    let plan = Core.Pipeline.plan ~psa_options:options params p.graph ~procs in
+    Printf.printf "program : %s on %d processors\n" p.name procs;
+    Printf.printf "Phi     : %.6f s\n" (Core.Pipeline.phi plan);
+    Printf.printf "T_psa   : %.6f s  (PB = %d)\n\n"
+      (Core.Pipeline.predicted_time plan)
+      plan.psa.pb;
+    print_string
+      (Core.Gantt.allocation_table plan.graph ~real:plan.allocation.alloc
+         ~rounded:plan.psa.rounded_alloc);
+    print_newline ();
+    print_string (Core.Gantt.of_schedule plan.graph (Core.Pipeline.schedule plan));
+    match Core.Schedule.validate params plan.graph plan.psa.schedule with
+    | Ok () -> print_endline "schedule validates: OK"
+    | Error msgs ->
+        print_endline "schedule validation FAILED:";
+        List.iter (Printf.printf "  %s\n") msgs;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Allocate and run the Prioritised Scheduling Algorithm (paper Sec. 3).")
+    Term.(const run $ program_arg $ procs_arg $ machine_arg $ pb $ optimise_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the simulated activity Gantt.")
+  in
+  let trace_json =
+    let doc = "Write a Chrome trace-event JSON of the execution to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+  in
+  let run spec procs machine trace trace_json optimise =
+    check_procs procs;
+    let p = load_program ~optimise spec in
+    let gt = ground_truth machine in
+    let params = calibrated_params gt p in
+    let c = Core.Pipeline.compare_mpmd_spmd gt params p.graph ~procs in
+    Printf.printf "program            : %s on %d processors\n" p.name procs;
+    Printf.printf "serial time        : %.6f s\n" c.serial;
+    Printf.printf "MPMD (this paper)  : %.6f s   speedup %6.2f  efficiency %5.1f%%\n"
+      c.mpmd_time c.mpmd_speedup (100.0 *. c.mpmd_efficiency);
+    Printf.printf "SPMD (baseline)    : %.6f s   speedup %6.2f  efficiency %5.1f%%\n"
+      c.spmd_time c.spmd_speedup (100.0 *. c.spmd_efficiency);
+    Printf.printf "model prediction   : %.6f s   (%.1f%% off actual)\n" c.predicted
+      (100.0 *. (c.predicted -. c.mpmd_time) /. c.mpmd_time);
+    Printf.printf "convex optimum Phi : %.6f s\n" c.phi;
+    if trace || trace_json <> None then begin
+      let plan = Core.Pipeline.plan params p.graph ~procs in
+      let sim = Core.Pipeline.simulate gt plan in
+      if trace then begin
+        print_newline ();
+        print_string (Core.Gantt.of_sim sim)
+      end;
+      match trace_json with
+      | Some path ->
+          Machine.Trace_export.save ~process_name:p.name path sim;
+          Printf.printf "\nChrome trace written to %s\n" path
+      | None -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the compiled MPMD program and the SPMD baseline on the machine.")
+    Term.(const run $ program_arg $ procs_arg $ machine_arg $ trace $ trace_json $ optimise_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run spec procs machine optimise =
+    check_procs procs;
+    let p = load_program ~optimise spec in
+    let gt = ground_truth machine in
+    let params = calibrated_params gt p in
+    let plan = Core.Pipeline.plan params p.graph ~procs in
+    let prog = Core.Codegen.mpmd gt plan.graph (Core.Pipeline.schedule plan) in
+    Printf.printf "# %s compiled for %d processors\n" p.name procs;
+    Printf.printf "# Phi = %.6f s, T_psa = %.6f s\n\n" (Core.Pipeline.phi plan)
+      (Core.Pipeline.predicted_time plan);
+    Format.printf "%a@." Machine.Program.pp prog
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Print the generated per-processor MPMD program (paper Sec. 1.2 step 5).")
+    Term.(const run $ program_arg $ procs_arg $ machine_arg $ optimise_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  let doc =
+    "Mixed functional+data parallelism via convex programming (ICPP'94 \
+     reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "paradigm" ~version:"1.0.0" ~doc)
+    [ graph_cmd; fit_cmd; allocate_cmd; schedule_cmd; simulate_cmd; compile_cmd ]
+
+let () =
+  try exit (Cmd.eval main)
+  with Failure msg ->
+    prerr_endline ("paradigm: " ^ msg);
+    exit 1

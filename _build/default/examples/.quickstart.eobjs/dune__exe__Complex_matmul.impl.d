@@ -1,0 +1,1 @@
+examples/complex_matmul.ml: Core Costmodel Format Kernels List Machine Mdg Printf

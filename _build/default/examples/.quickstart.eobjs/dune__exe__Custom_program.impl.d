@@ -1,0 +1,1 @@
+examples/custom_program.ml: Core Frontend List Machine Mdg Printf

@@ -1,0 +1,1 @@
+examples/strassen.ml: Array Core Kernels List Machine Mdg Printf

@@ -1,0 +1,1 @@
+examples/topology_study.ml: Array Core Fun Kernels List Machine Printf

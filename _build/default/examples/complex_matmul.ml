@@ -1,0 +1,55 @@
+(* The paper's first test program: 64x64 complex matrix multiply.
+
+   Full reproduction pipeline: calibrate cost-model parameters against
+   the simulated machine (training-sets approach), build the MDG, run
+   the convex allocator + PSA at several machine sizes, execute both
+   the MPMD result and the SPMD baseline, and report speedups. *)
+
+let () =
+  let n = 64 in
+  let g, _ids = Kernels.Complex_mm.graph ~n () in
+  let gt = Machine.Ground_truth.cm5_like () in
+  Printf.printf "machine: %s\n\n" (Machine.Ground_truth.describe gt);
+
+  print_endline "=== MDG (paper Figure 6, left) ===";
+  print_string (Mdg.Render.to_ascii g);
+
+  (* Training-sets calibration (paper Section 4). *)
+  let procs_swept = [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let params, kernel_quality, transfer_fit =
+    Machine.Measure.calibrate gt ~procs:procs_swept (Kernels.Complex_mm.kernels ~n)
+  in
+  print_endline "\n=== fitted processing parameters (cf. paper Table 1) ===";
+  List.iter
+    (fun (kernel, (q : Costmodel.Fit.quality)) ->
+      Format.printf "%a : %a (r^2 = %.5f)@." Mdg.Graph.pp_kernel kernel
+        Costmodel.Params.pp_processing
+        (Costmodel.Params.processing params kernel)
+        q.r_squared)
+    kernel_quality;
+  Format.printf "\n=== fitted transfer parameters (cf. paper Table 2) ===@.";
+  Format.printf "%a@." Costmodel.Params.pp_transfer transfer_fit.params;
+
+  print_endline "\n=== MPMD vs SPMD (cf. paper Figure 8) ===";
+  Printf.printf "%6s %12s %12s %9s %9s %8s %8s\n" "procs" "MPMD (s)"
+    "SPMD (s)" "S_mpmd" "S_spmd" "E_mpmd" "E_spmd";
+  List.iter
+    (fun procs ->
+      let c = Core.Pipeline.compare_mpmd_spmd gt params g ~procs in
+      Printf.printf "%6d %12.5f %12.5f %9.2f %9.2f %7.1f%% %7.1f%%\n" procs
+        c.mpmd_time c.spmd_time c.mpmd_speedup c.spmd_speedup
+        (100.0 *. c.mpmd_efficiency)
+        (100.0 *. c.spmd_efficiency))
+    [ 4; 8; 16; 32; 64 ];
+
+  print_endline "\n=== schedule on 4 processors (cf. paper Figure 7) ===";
+  let plan = Core.Pipeline.plan params g ~procs:4 in
+  print_string
+    (Core.Gantt.allocation_table plan.graph ~real:plan.allocation.alloc
+       ~rounded:plan.psa.rounded_alloc);
+  print_newline ();
+  print_string (Core.Gantt.of_schedule plan.graph (Core.Pipeline.schedule plan));
+
+  print_endline "\n=== numerical check of the decomposition ===";
+  Printf.printf "4-mul/2-add complex product matches direct: %b\n"
+    (Kernels.Complex_mm.verify_numerics ~n:16 ~seed:42)

@@ -1,0 +1,61 @@
+(* Interconnect topology study.
+
+   The paper's transfer model assumes uniform network costs between
+   all processor pairs ("valid for most of the current machines").
+   This example checks that assumption on the simulated machine: the
+   same compiled MPMD program is executed on the uniform network, a
+   CM-5-style fat tree (with root-bisection contention), and a 2-D
+   mesh, and the collective-communication primitives are measured on
+   each machine size. *)
+
+let () =
+  let gt = Machine.Ground_truth.cm5_like () in
+  let n = 64 in
+  let g, _ = Kernels.Complex_mm.graph ~n () in
+  let params, _, _ =
+    Machine.Measure.calibrate gt
+      ~procs:[ 1; 2; 4; 8; 16; 32; 64 ]
+      (Kernels.Complex_mm.kernels ~n)
+  in
+
+  print_endline "=== complex matrix multiply on different interconnects ===";
+  List.iter
+    (fun procs ->
+      let plan = Core.Pipeline.plan params g ~procs in
+      let prog = Core.Codegen.mpmd gt plan.graph (Core.Pipeline.schedule plan) in
+      let base = (Machine.Sim.run gt prog).finish_time in
+      Printf.printf "\n%d processors (uniform: %.5f s)\n" procs base;
+      List.iter
+        (fun topo ->
+          let t = (Machine.Sim.run ~topology:topo gt prog).finish_time in
+          Printf.printf "  %-56s %+6.2f%%\n"
+            (Machine.Topology.describe topo)
+            (100.0 *. (t -. base) /. base))
+        [
+          Machine.Topology.fat_tree ~procs ();
+          Machine.Topology.mesh2d ~procs ();
+        ])
+    [ 16; 64 ];
+
+  print_endline "\n=== collective primitives (32 KiB payloads) ===";
+  Printf.printf "%8s %16s %16s\n" "procs" "broadcast (ms)" "allgather (ms)";
+  List.iter
+    (fun m ->
+      let procs = Array.init m Fun.id in
+      let run fragment =
+        let code = Array.make m [] in
+        List.iter (fun (p, ops) -> code.(p) <- code.(p) @ ops) fragment;
+        (Machine.Sim.run gt (Machine.Program.make ~procs:m code)).finish_time
+      in
+      let bcast =
+        run
+          (Machine.Collectives.broadcast ~edge_base:0 ~procs ~root_index:0
+             ~bytes:32768.0)
+      in
+      let gather =
+        run
+          (Machine.Collectives.allgather ~edge_base:0 ~procs
+             ~bytes_per_proc:(32768.0 /. float_of_int m))
+      in
+      Printf.printf "%8d %16.3f %16.3f\n" m (bcast *. 1e3) (gather *. 1e3))
+    [ 2; 4; 8; 16; 32; 64 ]

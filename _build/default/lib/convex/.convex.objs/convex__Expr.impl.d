@@ -1,0 +1,1 @@
+lib/convex/expr.ml: Array Float Format Hashtbl Int List Numeric Option Printf

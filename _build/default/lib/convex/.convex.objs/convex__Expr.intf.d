@@ -1,0 +1,1 @@
+lib/convex/expr.mli: Format Numeric

@@ -1,0 +1,1 @@
+lib/convex/posynomial.ml: Array Expr Float Format Hashtbl Int List Numeric Option

@@ -1,0 +1,1 @@
+lib/convex/posynomial.mli: Expr Format Numeric

@@ -1,0 +1,1 @@
+lib/convex/solver.ml: Array Expr Float Numeric

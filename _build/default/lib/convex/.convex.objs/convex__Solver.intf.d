@@ -1,0 +1,1 @@
+lib/convex/solver.mli: Expr Numeric

@@ -1,0 +1,121 @@
+module Vec = Numeric.Vec
+
+type monomial = { coeff : float; expts : (int * float) list }
+
+(* Invariant: each monomial's [expts] is sorted by variable index with
+   no duplicates and no zero exponents; coefficients are positive; no
+   two monomials share an exponent vector. *)
+type t = monomial list
+
+let normalise_expts expts =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (i, a) ->
+      if i < 0 then invalid_arg "Posynomial: negative variable index";
+      let cur = Option.value (Hashtbl.find_opt tbl i) ~default:0.0 in
+      Hashtbl.replace tbl i (cur +. a))
+    expts;
+  Hashtbl.fold (fun i a acc -> if a = 0.0 then acc else (i, a) :: acc) tbl []
+  |> List.sort (fun (i, _) (j, _) -> Int.compare i j)
+
+let zero : t = []
+
+let of_monomials ms =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun { coeff; expts } ->
+      if not (Float.is_finite coeff) || coeff <= 0.0 then
+        invalid_arg "Posynomial.of_monomials: non-positive coefficient";
+      let key = normalise_expts expts in
+      let cur = Option.value (Hashtbl.find_opt tbl key) ~default:0.0 in
+      Hashtbl.replace tbl key (cur +. coeff))
+    ms;
+  Hashtbl.fold (fun expts coeff acc -> { coeff; expts } :: acc) tbl []
+  |> List.sort compare
+
+let monomials t = t
+
+let constant c =
+  if not (Float.is_finite c) || c < 0.0 then
+    invalid_arg "Posynomial.constant: negative constant";
+  if c = 0.0 then zero else [ { coeff = c; expts = [] } ]
+
+let var i = [ { coeff = 1.0; expts = [ (i, 1.0) ] } ]
+
+let monomial coeff expts = of_monomials [ { coeff; expts } ]
+
+let add a b = of_monomials (a @ b)
+
+let sum ts = of_monomials (List.concat ts)
+
+let mul a b =
+  of_monomials
+    (List.concat_map
+       (fun ma ->
+         List.map
+           (fun mb ->
+             { coeff = ma.coeff *. mb.coeff; expts = ma.expts @ mb.expts })
+           b)
+       a)
+
+let scale c t =
+  if not (Float.is_finite c) || c < 0.0 then
+    invalid_arg "Posynomial.scale: negative factor";
+  if c = 0.0 then zero
+  else List.map (fun m -> { m with coeff = c *. m.coeff }) t
+
+let mul_var i a t =
+  of_monomials (List.map (fun m -> { m with expts = (i, a) :: m.expts }) t)
+
+let rec pow t n =
+  if n < 0 then invalid_arg "Posynomial.pow: negative power";
+  if n = 0 then constant 1.0 else mul t (pow t (n - 1))
+
+let eval t p =
+  Array.iter
+    (fun v ->
+      if v <= 0.0 then invalid_arg "Posynomial.eval: non-positive point")
+    p;
+  List.fold_left
+    (fun acc { coeff; expts } ->
+      acc
+      +. coeff
+         *. List.fold_left
+              (fun prod (i, a) ->
+                if i >= Vec.dim p then
+                  invalid_arg "Posynomial.eval: variable out of range"
+                else prod *. (p.(i) ** a))
+              1.0 expts)
+    0.0 t
+
+let to_expr t =
+  match t with
+  | [] -> Expr.const 0.0
+  | ms ->
+      Expr.sum
+        (List.map (fun { coeff; expts } -> Expr.term ~coeff ~expts) ms)
+
+let degree_in i t =
+  let expt m = Option.value (List.assoc_opt i m.expts) ~default:0.0 in
+  match t with
+  | [] -> (0.0, 0.0)
+  | m :: rest ->
+      List.fold_left
+        (fun (lo, hi) m' ->
+          let a = expt m' in
+          (Float.min lo a, Float.max hi a))
+        (expt m, expt m)
+        rest
+
+let is_constant t = List.for_all (fun m -> m.expts = []) t
+
+let pp fmt t =
+  match t with
+  | [] -> Format.fprintf fmt "0"
+  | ms ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.fprintf fmt " + ")
+        (fun fmt { coeff; expts } ->
+          Format.fprintf fmt "%g" coeff;
+          List.iter (fun (i, a) -> Format.fprintf fmt "·p%d^%g" i a) expts)
+        fmt ms

@@ -1,0 +1,64 @@
+(** Posynomial functions: finite sums of monomials [c · Π pᵢ^aᵢ] with
+    positive coefficients [c] and arbitrary real exponents [aᵢ].
+
+    Posynomials are the function class of the paper's Lemmas 1 and 2:
+    every processing/data-transfer cost must be posynomial so that the
+    log-substituted allocation problem is convex (geometric
+    programming, Ecker 1980).  This module provides the algebra needed
+    to build those cost functions and machine-check their claimed
+    properties in the test suite. *)
+
+type monomial = { coeff : float; expts : (int * float) list }
+(** [coeff] must be positive and finite; [expts] maps variable index to
+    exponent. *)
+
+type t
+
+val zero : t
+(** The empty posynomial (identically 0). *)
+
+val of_monomials : monomial list -> t
+(** Normalises: merges monomials with identical exponent vectors and
+    drops nothing else.  Raises [Invalid_argument] on non-positive
+    coefficients. *)
+
+val monomials : t -> monomial list
+
+val constant : float -> t
+(** Raises on negative constants; [constant 0.] is [zero]. *)
+
+val var : int -> t
+(** The single variable [pᵢ]. *)
+
+val monomial : float -> (int * float) list -> t
+
+val add : t -> t -> t
+
+val sum : t list -> t
+
+val mul : t -> t -> t
+(** Product of posynomials (still a posynomial). *)
+
+val scale : float -> t -> t
+(** Non-negative scaling. *)
+
+val mul_var : int -> float -> t -> t
+(** [mul_var i a f] multiplies every monomial by [pᵢ^a] — used for the
+    paper's condition (2), e.g. checking that [t^C·pᵢ] is posynomial. *)
+
+val pow : t -> int -> t
+(** Non-negative integer power. *)
+
+val eval : t -> Numeric.Vec.t -> float
+(** Evaluate at a point in p-space; all components must be positive. *)
+
+val to_expr : t -> Expr.t
+(** Lower to the convex expression DAG (x-space). *)
+
+val degree_in : int -> t -> float * float
+(** [(min, max)] exponent of variable [i] across monomials; [(0., 0.)]
+    for [zero] or unused variables. *)
+
+val is_constant : t -> bool
+
+val pp : Format.formatter -> t -> unit

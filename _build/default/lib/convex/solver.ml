@@ -1,0 +1,185 @@
+module Vec = Numeric.Vec
+
+type problem = {
+  objective : Expr.t;
+  lo : Vec.t;
+  hi : Vec.t;
+}
+
+type options = {
+  max_iters : int;
+  tol : float;
+  mu_init : float;
+  mu_final : float;
+  mu_decay : float;
+  step_init : float;
+  armijo_c : float;
+  armijo_shrink : float;
+}
+
+let default_options =
+  {
+    max_iters = 300;
+    tol = 1e-6;
+    mu_init = 1e-2;
+    mu_final = 1e-6;
+    mu_decay = 0.01;
+    step_init = 1.0;
+    armijo_c = 1e-4;
+    armijo_shrink = 0.5;
+  }
+
+type result = {
+  x : Vec.t;
+  value : float;
+  iterations : int;
+  stages : int;
+  converged : bool;
+}
+
+let validate { objective; lo; hi } =
+  let n = Vec.dim lo in
+  if Vec.dim hi <> n then invalid_arg "Solver.solve: lo/hi dimension mismatch";
+  for i = 0 to n - 1 do
+    if lo.(i) > hi.(i) then invalid_arg "Solver.solve: empty box"
+  done;
+  if Expr.max_var objective >= n then
+    invalid_arg "Solver.solve: objective references variables outside the box"
+
+(* One stage of accelerated projected gradient descent (FISTA with
+   function-value restart) with Armijo backtracking, at a fixed
+   smoothing temperature.  Returns (x, iterations, hit_tol).
+
+   The momentum point [y] may leave the box; the objective is defined
+   on all of R^n (sums of exponentials), so evaluating there is fine —
+   the prox step projects back. *)
+let stage ~opts ~mu ~objective ~lo ~hi x0 =
+  let project v = Vec.clamp ~lo ~hi v in
+  let x = ref (project x0) in
+  let y = ref !x in
+  let t = ref 1.0 in
+  let step = ref opts.step_init in
+  let fx = ref (Expr.eval ~mu objective !x) in
+  let iters = ref 0 in
+  let hit_tol = ref false in
+  (try
+     for _ = 1 to opts.max_iters do
+       incr iters;
+       let f_y, g = Expr.eval_grad ~mu objective !y in
+       (* Backtracking on the projected-arc step from y. *)
+       let rec search step_try tries =
+         if tries = 0 then None
+         else
+           let cand = project (Vec.sub !y (Vec.scale step_try g)) in
+           let fc = Expr.eval ~mu objective cand in
+           let d = Vec.sub !y cand in
+           if fc <= f_y -. (opts.armijo_c /. step_try *. Vec.dot d d) then
+             Some (cand, fc, step_try)
+           else search (step_try *. opts.armijo_shrink) (tries - 1)
+       in
+       match search !step 60 with
+       | None ->
+           hit_tol := true;
+           raise Exit
+       | Some (cand, fc, used_step) ->
+           (* Let the step grow back after a successful iteration so a
+              single steep region does not clamp it forever. *)
+           step := Float.min (used_step *. 2.0) (opts.step_init *. 1e3);
+           let move = Vec.norm_inf (Vec.sub cand !x) in
+           if fc > !fx then begin
+             (* Momentum overshot: restart from the best iterate. *)
+             t := 1.0;
+             y := !x;
+             if move < opts.tol then begin
+               hit_tol := true;
+               raise Exit
+             end
+           end
+           else begin
+             let t' = (1.0 +. sqrt (1.0 +. (4.0 *. !t *. !t))) /. 2.0 in
+             let beta = (!t -. 1.0) /. t' in
+             y := Vec.add cand (Vec.scale beta (Vec.sub cand !x));
+             t := t';
+             x := cand;
+             fx := fc;
+             if move < opts.tol then begin
+               hit_tol := true;
+               raise Exit
+             end
+           end
+     done
+   with Exit -> ());
+  (!x, !iters, !hit_tol)
+
+let solve ?(options = default_options) ?x0 problem =
+  validate problem;
+  let { objective; lo; hi } = problem in
+  let n = Vec.dim lo in
+  let x0 =
+    match x0 with
+    | Some x ->
+        if Vec.dim x <> n then invalid_arg "Solver.solve: x0 dimension mismatch";
+        Vec.clamp ~lo ~hi x
+    | None -> Vec.init n (fun i -> (lo.(i) +. hi.(i)) /. 2.0)
+  in
+  (* Scale smoothing temperatures by the magnitude of the objective so
+     the anneal behaves the same for millisecond- and second-scale
+     costs. *)
+  let f0 = Float.max (Float.abs (Expr.eval objective x0)) 1e-30 in
+  let mu_init = options.mu_init *. f0 in
+  let mu_final = options.mu_final *. f0 in
+  let x = ref x0 in
+  let total_iters = ref 0 in
+  let stages_done = ref 0 in
+  let mu = ref mu_init in
+  let continue = ref true in
+  while !continue do
+    let x', iters, _ = stage ~opts:options ~mu:!mu ~objective ~lo ~hi !x in
+    x := x';
+    total_iters := !total_iters + iters;
+    incr stages_done;
+    if !mu <= mu_final then continue := false
+    else mu := Float.max (!mu *. options.mu_decay) mu_final
+  done;
+  (* Finish with one exact (subgradient) polishing stage; convergence is
+     judged on this final stage (intermediate smoothed stages need not
+     reach full tolerance to anneal onward). *)
+  let x', iters, ok = stage ~opts:options ~mu:0.0 ~objective ~lo ~hi !x in
+  x := x';
+  total_iters := !total_iters + iters;
+  incr stages_done;
+  {
+    x = !x;
+    value = Expr.eval objective !x;
+    iterations = !total_iters;
+    stages = !stages_done;
+    converged = ok;
+  }
+
+let golden_section ?(tol = 1e-9) ~f ~lo ~hi () =
+  if hi < lo then invalid_arg "Solver.golden_section: hi < lo";
+  if hi -. lo <= tol then (lo +. hi) /. 2.0
+  else begin
+    let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+    let a = ref lo and b = ref hi in
+    let c = ref (!b -. (phi *. (!b -. !a))) in
+    let d = ref (!a +. (phi *. (!b -. !a))) in
+    let fc = ref (f !c) and fd = ref (f !d) in
+    while !b -. !a > tol do
+      if !fc < !fd then begin
+        b := !d;
+        d := !c;
+        fd := !fc;
+        c := !b -. (phi *. (!b -. !a));
+        fc := f !c
+      end
+      else begin
+        a := !c;
+        c := !d;
+        fc := !fd;
+        d := !a +. (phi *. (!b -. !a));
+        fd := f !d
+      end
+    done;
+    (!a +. !b) /. 2.0
+  end

@@ -1,0 +1,50 @@
+(** Projected-gradient solver for box-constrained convex programs.
+
+    Minimises a convex expression (see {!Expr}) over a box
+    [lo ≤ x ≤ hi].  Non-smooth maxima are handled by annealing a
+    log-sum-exp smoothing temperature: each stage minimises the smoothed
+    (convex, C¹) objective by projected gradient descent with Armijo
+    backtracking, then the temperature shrinks.  Because the smoothed
+    objective over-estimates the true one by at most [mu·ln k], the
+    final iterate is within a vanishing additive gap of the global
+    minimum of the original problem. *)
+
+type problem = {
+  objective : Expr.t;
+  lo : Numeric.Vec.t;
+  hi : Numeric.Vec.t;
+}
+
+type options = {
+  max_iters : int;        (** per smoothing stage *)
+  tol : float;            (** stop when the projected-gradient step
+                              moves x by less than [tol] in inf-norm *)
+  mu_init : float;        (** initial smoothing temperature, as a
+                              fraction of the initial objective value *)
+  mu_final : float;       (** final temperature (same scaling) *)
+  mu_decay : float;       (** multiplicative decay per stage, in (0,1) *)
+  step_init : float;      (** initial trial step for line search *)
+  armijo_c : float;       (** sufficient-decrease constant *)
+  armijo_shrink : float;  (** backtracking factor, in (0,1) *)
+}
+
+val default_options : options
+
+type result = {
+  x : Numeric.Vec.t;      (** final iterate (inside the box) *)
+  value : float;          (** exact (unsmoothed) objective at [x] *)
+  iterations : int;       (** total gradient iterations across stages *)
+  stages : int;           (** smoothing stages performed *)
+  converged : bool;       (** the final exact (unsmoothed) stage hit its
+                              step tolerance *)
+}
+
+val solve : ?options:options -> ?x0:Numeric.Vec.t -> problem -> result
+(** Solve the problem.  [x0] defaults to the box centre; it is projected
+    into the box first.  Raises [Invalid_argument] if the box is empty
+    or dimensions disagree. *)
+
+val golden_section :
+  ?tol:float -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** Minimiser of a unimodal function on [lo, hi] by golden-section
+    search (used for one-dimensional calibration problems). *)

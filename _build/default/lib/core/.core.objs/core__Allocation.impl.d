@@ -1,0 +1,1 @@
+lib/core/allocation.ml: Array Convex Costmodel List Mdg Numeric Option

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Costmodel Fun Hashtbl List Machine Mdg Schedule

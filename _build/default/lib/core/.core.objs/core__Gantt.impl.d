@@ -1,0 +1,1 @@
+lib/core/gantt.ml: Array Buffer List Machine Mdg Printf Schedule String

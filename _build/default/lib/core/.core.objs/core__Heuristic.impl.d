@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Allocation Array Costmodel Float Hashtbl Int List Mdg Option Psa

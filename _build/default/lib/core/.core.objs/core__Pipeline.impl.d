@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Allocation Array Codegen Costmodel Machine Mdg Numeric Psa

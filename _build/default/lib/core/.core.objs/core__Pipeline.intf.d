@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Allocation Convex Costmodel Machine Mdg Psa Schedule

@@ -1,0 +1,1 @@
+lib/core/psa.ml: Array Bounds Costmodel Float Int List Mdg Numeric Schedule Set

@@ -1,0 +1,1 @@
+lib/core/psa.mli: Costmodel Mdg Schedule

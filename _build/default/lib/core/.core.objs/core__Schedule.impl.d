@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Costmodel Float Format Hashtbl Int List Mdg Printf String

@@ -1,0 +1,1 @@
+lib/core/schedule_io.mli: Schedule

@@ -1,0 +1,54 @@
+(** Processor allocation by convex programming (paper Section 2).
+
+    Builds the objective
+
+    {v
+      Phi = max(A_p, C_p)
+      A_p = (1/p) * sum_i T_i * p_i
+      C_p = y_STOP,   y_i = max over preds (y_m + t^D_mi) + T_i
+      T_i = sum t^R + t^C + sum t^S
+    v}
+
+    over the log-transformed per-node processor counts [x_i = ln p_i],
+    where every cost term is a posynomial (Lemmas 1–2), so the problem
+    is convex with a unique minimum, and solves it with
+    {!Convex.Solver}.  The resulting real-valued allocation is the
+    input to the PSA's rounding step. *)
+
+type result = {
+  alloc : float array;       (** optimal real allocation, in [1, p] *)
+  phi : float;               (** optimal objective value Φ *)
+  average : float;           (** A_p at the optimum *)
+  critical_path : float;     (** C_p at the optimum *)
+  solver : Convex.Solver.result;
+}
+
+val objective :
+  Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> Convex.Expr.t
+(** The convex expression for Φ, with variable [i] = [ln pᵢ].  The
+    graph must be normalised ({!Mdg.Graph.normalise}). *)
+
+val average_expr :
+  Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> Convex.Expr.t
+(** Just the [A_p] term. *)
+
+val critical_path_expr :
+  Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> Convex.Expr.t
+(** Just the [C_p] term. *)
+
+val solve :
+  ?options:Convex.Solver.options ->
+  Costmodel.Params.t ->
+  Mdg.Graph.t ->
+  procs:int ->
+  result
+(** Solve the allocation problem.  Raises [Invalid_argument] if the
+    graph is not normalised or [procs < 1]; raises [Not_found] if the
+    parameter set lacks processing entries for a kernel in the
+    graph. *)
+
+val evaluate :
+  Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> alloc:float array -> float
+(** Φ evaluated at an arbitrary allocation (each entry in [1, p]) —
+    the exact max, not the smoothed objective.  Useful for comparing
+    candidate allocations and in optimality tests. *)

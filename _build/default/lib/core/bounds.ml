@@ -1,0 +1,33 @@
+let check ~procs ~pb =
+  if procs < 1 then invalid_arg "Bounds: procs < 1";
+  if pb < 1 || pb > procs then invalid_arg "Bounds: pb outside [1, procs]"
+
+let theorem1_factor ~procs ~pb =
+  check ~procs ~pb;
+  let p = float_of_int procs and b = float_of_int pb in
+  1.0 +. (p /. (p -. b +. 1.0))
+
+let theorem2_factor ~procs ~pb =
+  check ~procs ~pb;
+  let p = float_of_int procs and b = float_of_int pb in
+  1.5 *. 1.5 *. (p /. b) ** 2.0
+
+let theorem3_factor ~procs ~pb =
+  theorem1_factor ~procs ~pb *. theorem2_factor ~procs ~pb
+
+let optimal_pb ~procs =
+  if procs < 1 then invalid_arg "Bounds.optimal_pb: procs < 1";
+  let candidates = Numeric.Pow2.pow2_range procs in
+  List.fold_left
+    (fun best pb ->
+      if theorem3_factor ~procs ~pb < theorem3_factor ~procs ~pb:best then pb
+      else best)
+    (List.hd candidates) candidates
+
+let rounding_factor_bounds = (2.0 /. 3.0, 4.0 /. 3.0)
+
+let check_theorem1 ~t_psa ~t_opt_lower ~procs ~pb =
+  t_psa <= (theorem1_factor ~procs ~pb *. t_opt_lower) +. 1e-9
+
+let check_theorem3 ~t_psa ~phi ~procs ~pb =
+  t_psa <= (theorem3_factor ~procs ~pb *. phi) +. 1e-9

@@ -1,0 +1,33 @@
+(** Optimality bounds from paper Section 5 (Theorems 1–3, Corollary 1).
+
+    These quantify how far the PSA's finish time can be from the convex
+    program's optimum Φ, and drive the choice of the processor bound PB
+    used in the PSA's bounding step. *)
+
+val theorem1_factor : procs:int -> pb:int -> float
+(** [1 + p/(p - PB + 1)]: list-scheduling loss when no node uses more
+    than [pb] of the [procs] processors (Theorem 1).  Requires
+    [1 <= pb <= procs]. *)
+
+val theorem2_factor : procs:int -> pb:int -> float
+(** [(3/2)² · (p/PB)²]: loss from the rounding-off and bounding steps
+    (Theorem 2). *)
+
+val theorem3_factor : procs:int -> pb:int -> float
+(** Product of the two: end-to-end guarantee
+    [T_psa ≤ theorem3_factor · Φ] (Theorem 3). *)
+
+val optimal_pb : procs:int -> int
+(** The power of two in [1, procs] minimising {!theorem3_factor}
+    (Corollary 1).  Requires [procs >= 1]. *)
+
+val rounding_factor_bounds : float * float
+(** [(2/3, 4/3)]: the worst-case multiplicative change of any node's
+    allocation in the rounding-off step. *)
+
+val check_theorem1 :
+  t_psa:float -> t_opt_lower:float -> procs:int -> pb:int -> bool
+(** [t_psa <= factor · t_opt_lower] — used by property tests with a
+    lower bound on the optimal PB-bounded finish time. *)
+
+val check_theorem3 : t_psa:float -> phi:float -> procs:int -> pb:int -> bool

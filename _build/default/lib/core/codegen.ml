@@ -1,0 +1,149 @@
+module G = Mdg.Graph
+module M = Machine
+
+let mpmd gt g sched =
+  let procs = Schedule.machine_procs sched in
+  let edges = Array.of_list (G.edges g) in
+  (* Expand every edge into its message plan once, so send and receive
+     sides agree exactly. *)
+  let plans =
+    Array.map
+      (fun (e : G.edge) ->
+        if e.bytes = 0.0 then []
+        else
+          M.Transfer_plan.messages ~kind:e.kind ~bytes:e.bytes
+            ~senders:(Schedule.entry sched e.src).procs
+            ~receivers:(Schedule.entry sched e.dst).procs)
+      edges
+  in
+  let index = Hashtbl.create (Array.length edges) in
+  Array.iteri (fun k (e : G.edge) -> Hashtbl.replace index (e.src, e.dst) k) edges;
+  let edge_ids_in g node sel =
+    List.map (fun (e : G.edge) -> Hashtbl.find index (e.src, e.dst)) (sel g node)
+  in
+  let code = Array.make procs [] in
+  (* Entries are already sorted by start time; appending per node keeps
+     each processor's ops in schedule order. *)
+  List.iter
+    (fun (entry : Schedule.entry) ->
+      let node = G.node g entry.node in
+      let nprocs = Array.length entry.procs in
+      let compute_seconds =
+        M.Ground_truth.kernel_time gt node.kernel ~procs:nprocs
+      in
+      Array.iter
+        (fun p ->
+          let recvs =
+            List.concat_map
+              (fun eid ->
+                List.filter_map
+                  (fun (m : M.Transfer_plan.message) ->
+                    if m.dst_proc = p then
+                      Some
+                        (M.Program.Recv
+                           { edge = eid; src_proc = m.src_proc; bytes = m.bytes })
+                    else None)
+                  plans.(eid))
+              (edge_ids_in g entry.node G.preds)
+          in
+          let sends =
+            List.concat_map
+              (fun eid ->
+                List.filter_map
+                  (fun (m : M.Transfer_plan.message) ->
+                    if m.src_proc = p then
+                      Some
+                        (M.Program.Send
+                           { edge = eid; dst_proc = m.dst_proc; bytes = m.bytes })
+                    else None)
+                  plans.(eid))
+              (edge_ids_in g entry.node G.succs)
+          in
+          let compute =
+            if compute_seconds > 0.0 then
+              [ M.Program.Compute { node = entry.node; seconds = compute_seconds } ]
+            else []
+          in
+          code.(p) <- code.(p) @ recvs @ compute @ sends)
+        entry.procs)
+    (Schedule.entries sched);
+  M.Program.make ~procs code
+
+let all_procs procs = Array.init procs Fun.id
+
+let spmd_schedule params g ~procs =
+  if procs < 1 then invalid_arg "Codegen.spmd_schedule: procs < 1";
+  let allocf _ = float_of_int procs in
+  let t = ref 0.0 in
+  let entries =
+    List.map
+      (fun i ->
+        let w = Costmodel.Weights.node_weight params g ~alloc:allocf i in
+        let start = !t in
+        t := !t +. w;
+        { Schedule.node = i; procs = all_procs procs; start; finish = !t })
+      (Mdg.Analysis.topological_order g)
+  in
+  Schedule.make ~machine_procs:procs entries
+
+let spmd gt g ~procs =
+  if procs < 1 then invalid_arg "Codegen.spmd: procs < 1";
+  let edges = Array.of_list (G.edges g) in
+  let everyone = all_procs procs in
+  let plans =
+    Array.map
+      (fun (e : G.edge) ->
+        if e.bytes = 0.0 then []
+        else
+          M.Transfer_plan.messages ~kind:e.kind ~bytes:e.bytes ~senders:everyone
+            ~receivers:everyone)
+      edges
+  in
+  let code = Array.make procs [] in
+  let order = Mdg.Analysis.topological_order g in
+  List.iter
+    (fun i ->
+      let node = G.node g i in
+      let compute_seconds = M.Ground_truth.kernel_time gt node.kernel ~procs in
+      for p = 0 to procs - 1 do
+        let recvs =
+          List.concat
+            (List.mapi
+               (fun eid (e : G.edge) ->
+                 if e.dst <> i then []
+                 else
+                   List.filter_map
+                     (fun (m : M.Transfer_plan.message) ->
+                       if m.dst_proc = p then
+                         Some
+                           (M.Program.Recv
+                              { edge = eid; src_proc = m.src_proc; bytes = m.bytes })
+                       else None)
+                     plans.(eid))
+               (Array.to_list edges))
+        in
+        let sends =
+          List.concat
+            (List.mapi
+               (fun eid (e : G.edge) ->
+                 if e.src <> i then []
+                 else
+                   List.filter_map
+                     (fun (m : M.Transfer_plan.message) ->
+                       if m.src_proc = p then
+                         Some
+                           (M.Program.Send
+                              { edge = eid; dst_proc = m.dst_proc; bytes = m.bytes })
+                       else None)
+                     plans.(eid))
+               (Array.to_list edges))
+        in
+        let compute =
+          if compute_seconds > 0.0 then
+            [ M.Program.Compute { node = i; seconds = compute_seconds } ]
+          else []
+        in
+        code.(p) <- code.(p) @ recvs @ compute @ sends
+      done)
+    order;
+  M.Program.make ~procs code

@@ -1,0 +1,28 @@
+(** MPMD and SPMD code generation (paper Section 1.2, steps 4–5).
+
+    Turns a schedule into the per-processor op sequences executed by
+    {!Machine.Sim}: for every node, in schedule order, each of its
+    processors receives its share of every incoming transfer, computes
+    for the ground-truth kernel time at the node's allocation, then
+    sends its share of every outgoing transfer.
+
+    Transfers are expanded into point-to-point messages by
+    {!Machine.Transfer_plan}; messages between a processor and itself
+    are local copies, which is how SPMD programs (same distribution on
+    the same processors for consecutive 1D-linked loops) avoid paying
+    communication costs. *)
+
+val mpmd :
+  Machine.Ground_truth.t -> Mdg.Graph.t -> Schedule.t -> Machine.Program.t
+(** Generate the MPMD program for a schedule of the graph.  Raises
+    [Invalid_argument] if the schedule does not cover the graph. *)
+
+val spmd :
+  Machine.Ground_truth.t -> Mdg.Graph.t -> procs:int -> Machine.Program.t
+(** The pure-data-parallel baseline: every node runs on all [procs]
+    processors, in topological order. *)
+
+val spmd_schedule :
+  Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> Schedule.t
+(** The schedule the SPMD baseline corresponds to (model weights, all
+    nodes on all processors, sequential). *)

@@ -1,0 +1,89 @@
+let symbol k =
+  let alphabet = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz" in
+  alphabet.[k mod String.length alphabet]
+
+let of_schedule ?(width = 72) g sched =
+  if width < 8 then invalid_arg "Gantt.of_schedule: width too small";
+  let span = Schedule.makespan sched in
+  let buf = Buffer.create 1024 in
+  let procs = Schedule.machine_procs sched in
+  if span <= 0.0 then Buffer.add_string buf "(empty schedule)\n"
+  else begin
+    let entries = Schedule.entries sched in
+    for p = 0 to procs - 1 do
+      Buffer.add_string buf (Printf.sprintf "P%02d |" p);
+      for c = 0 to width - 1 do
+        let t = span *. (float_of_int c +. 0.5) /. float_of_int width in
+        let here =
+          List.find_opt
+            (fun (e : Schedule.entry) ->
+              e.start <= t && t < e.finish
+              && Array.exists (( = ) p) e.procs)
+            entries
+        in
+        Buffer.add_char buf
+          (match here with Some e -> symbol e.node | None -> '.')
+      done;
+      Buffer.add_string buf "|\n"
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "     0%*s\n" width (Printf.sprintf "%.4f s" span));
+    Buffer.add_string buf "legend:\n";
+    List.iter
+      (fun (e : Schedule.entry) ->
+        if e.finish > e.start then
+          Buffer.add_string buf
+            (Printf.sprintf "  %c = [%d] %s on %d procs, %.4f .. %.4f\n"
+               (symbol e.node) e.node (Mdg.Graph.node g e.node).label
+               (Array.length e.procs) e.start e.finish))
+      entries
+  end;
+  Buffer.contents buf
+
+let of_sim ?(width = 72) (r : Machine.Sim.result) =
+  if width < 8 then invalid_arg "Gantt.of_sim: width too small";
+  let span = r.finish_time in
+  let buf = Buffer.create 1024 in
+  if span <= 0.0 then Buffer.add_string buf "(empty trace)\n"
+  else begin
+    let procs = Array.length r.busy in
+    for p = 0 to procs - 1 do
+      Buffer.add_string buf (Printf.sprintf "P%02d |" p);
+      for c = 0 to width - 1 do
+        let t = span *. (float_of_int c +. 0.5) /. float_of_int width in
+        let here =
+          List.find_opt
+            (fun (s : Machine.Sim.segment) ->
+              s.proc = p && s.start <= t && t < s.finish)
+            r.segments
+        in
+        Buffer.add_char buf
+          (match here with
+          | Some { activity = Busy_compute _; _ } -> 'c'
+          | Some { activity = Busy_send _; _ } -> 's'
+          | Some { activity = Busy_recv _; _ } -> 'r'
+          | Some { activity = Waiting _; _ } -> 'w'
+          | None -> '.')
+      done;
+      Buffer.add_string buf "|\n"
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "     0%*s\n" width (Printf.sprintf "%.4f s" span));
+    Buffer.add_string buf
+      "legend: c = compute, s = send, r = receive, w = waiting, . = idle\n"
+  end;
+  Buffer.contents buf
+
+let allocation_table g ~real ~rounded =
+  let n = Mdg.Graph.num_nodes g in
+  if Array.length real <> n || Array.length rounded <> n then
+    invalid_arg "Gantt.allocation_table: length mismatch";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-4s %-22s %10s %8s\n" "node" "label" "convex p_i" "rounded");
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%-4d %-22s %10.3f %8d\n" i
+         (Mdg.Graph.node g i).label real.(i) rounded.(i))
+  done;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** ASCII Gantt charts (paper Figure 7 style). *)
+
+val of_schedule : ?width:int -> Mdg.Graph.t -> Schedule.t -> string
+(** One row per processor; each occupied time slot shows a symbol for
+    the node running there, '.' for idle.  A legend maps symbols to
+    node labels with their allocation and interval. *)
+
+val of_sim : ?width:int -> Machine.Sim.result -> string
+(** Same rendering from a simulation trace: 'c'/'s'/'r'/'w' mark
+    compute, send, receive and waiting activity. *)
+
+val allocation_table :
+  Mdg.Graph.t -> real:float array -> rounded:int array -> string
+(** Side-by-side table of the convex program's real allocation and the
+    PSA's rounded/bounded allocation, one row per node. *)

@@ -1,0 +1,69 @@
+module G = Mdg.Graph
+
+type strategy =
+  | Data_parallel
+  | Level_uniform
+  | Level_tau_proportional
+
+let all = [ Data_parallel; Level_uniform; Level_tau_proportional ]
+
+let name = function
+  | Data_parallel -> "data-parallel (all nodes on p)"
+  | Level_uniform -> "level-uniform split"
+  | Level_tau_proportional -> "level tau-proportional split"
+
+let levels g =
+  let n = G.num_nodes g in
+  let lvl = Array.make n 0 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (e : G.edge) -> lvl.(e.dst) <- Int.max lvl.(e.dst) (lvl.(e.src) + 1))
+        (G.succs g u))
+    (Mdg.Analysis.topological_order g);
+  lvl
+
+let allocate params g ~procs strategy =
+  if not (G.is_normalised g) then
+    invalid_arg "Heuristic.allocate: graph must be normalised";
+  if procs < 1 then invalid_arg "Heuristic.allocate: procs < 1";
+  let n = G.num_nodes g in
+  let p = float_of_int procs in
+  match strategy with
+  | Data_parallel -> Array.make n p
+  | Level_uniform ->
+      let lvl = levels g in
+      let count = Hashtbl.create 16 in
+      Array.iter
+        (fun l ->
+          Hashtbl.replace count l
+            (1 + Option.value (Hashtbl.find_opt count l) ~default:0))
+        lvl;
+      Array.init n (fun i ->
+          Float.max 1.0 (p /. float_of_int (Hashtbl.find count lvl.(i))))
+  | Level_tau_proportional ->
+      let lvl = levels g in
+      let tau i = (Costmodel.Params.processing params (G.node g i).kernel).tau in
+      let level_tau = Hashtbl.create 16 in
+      Array.iteri
+        (fun i l ->
+          Hashtbl.replace level_tau l
+            (tau i +. Option.value (Hashtbl.find_opt level_tau l) ~default:0.0))
+        lvl;
+      Array.init n (fun i ->
+          let total = Hashtbl.find level_tau lvl.(i) in
+          if total <= 0.0 then p
+          else Float.max 1.0 (Float.min p (p *. tau i /. total)))
+
+let evaluate_all params g ~procs =
+  let g = G.normalise g in
+  let entry label alloc =
+    let phi = Allocation.evaluate params g ~procs ~alloc in
+    let psa = Psa.schedule params g ~procs ~alloc in
+    (label, phi, psa.t_psa)
+  in
+  let convex = Allocation.solve params g ~procs in
+  entry "convex program (this paper)" convex.alloc
+  :: List.map
+       (fun strategy -> entry (name strategy) (allocate params g ~procs strategy))
+       all

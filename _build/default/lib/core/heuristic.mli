@@ -1,0 +1,43 @@
+(** Heuristic processor-allocation baselines.
+
+    The paper's key claim for its allocation step is that an exact
+    convex program beats the heuristics of earlier work (its reference
+    [6], Ramaswamy & Banerjee ICPP'93, and the processing-cost-only
+    analysis of Prasanna & Agarwal).  These strategies reproduce that
+    class of heuristic so the benefit can be quantified (bench target
+    [heuristics]):
+
+    - {!Data_parallel}: every node uses all processors — the SPMD
+      allocation.
+    - {!Level_uniform}: nodes at the same depth level split the
+      machine evenly (pure functional parallelism within a level).
+    - {!Level_tau_proportional}: nodes at the same level split the
+      machine in proportion to their serial times, the natural
+      work-balancing heuristic when transfer costs are ignored.
+
+    All strategies return real-valued allocations in [1, p] suitable
+    for {!Psa.schedule}, like {!Allocation.solve}. *)
+
+type strategy =
+  | Data_parallel
+  | Level_uniform
+  | Level_tau_proportional
+
+val all : strategy list
+
+val name : strategy -> string
+
+val allocate :
+  Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> strategy -> float array
+(** Requires a normalised graph.  Raises [Invalid_argument]
+    otherwise. *)
+
+val evaluate_all :
+  Costmodel.Params.t ->
+  Mdg.Graph.t ->
+  procs:int ->
+  (string * float * float) list
+(** For every strategy plus the convex optimum: [(name, phi_at_alloc,
+    t_psa)] — the objective value of its allocation and the finish
+    time after the PSA.  Sorted as [all] with the convex result
+    first. *)

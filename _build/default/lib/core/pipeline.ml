@@ -1,0 +1,70 @@
+module G = Mdg.Graph
+
+type plan = {
+  graph : G.t;
+  params : Costmodel.Params.t;
+  procs : int;
+  allocation : Allocation.result;
+  psa : Psa.result;
+}
+
+let plan ?solver_options ?psa_options params g ~procs =
+  let g = G.normalise g in
+  let allocation = Allocation.solve ?options:solver_options params g ~procs in
+  let psa =
+    Psa.schedule ?options:psa_options params g ~procs ~alloc:allocation.alloc
+  in
+  { graph = g; params; procs; allocation; psa }
+
+let phi p = p.allocation.phi
+
+let predicted_time p = p.psa.t_psa
+
+let schedule p = p.psa.schedule
+
+let simulate gt p = Machine.Sim.run gt (Codegen.mpmd gt p.graph p.psa.schedule)
+
+let simulate_spmd gt g ~procs =
+  let g = G.normalise g in
+  Machine.Sim.run gt (Codegen.spmd gt g ~procs)
+
+let serial_time gt g =
+  Array.fold_left
+    (fun acc (nd : G.node) ->
+      acc +. Machine.Ground_truth.kernel_serial_time gt nd.kernel)
+    0.0
+    (G.nodes (G.normalise g))
+
+type comparison = {
+  procs : int;
+  serial : float;
+  mpmd_time : float;
+  spmd_time : float;
+  mpmd_speedup : float;
+  spmd_speedup : float;
+  mpmd_efficiency : float;
+  spmd_efficiency : float;
+  predicted : float;
+  phi : float;
+}
+
+let compare_mpmd_spmd ?solver_options ?psa_options gt params g ~procs =
+  let g = G.normalise g in
+  let p = plan ?solver_options ?psa_options params g ~procs in
+  let mpmd = simulate gt p in
+  let spmd = simulate_spmd gt g ~procs in
+  let serial = serial_time gt g in
+  {
+    procs;
+    serial;
+    mpmd_time = mpmd.finish_time;
+    spmd_time = spmd.finish_time;
+    mpmd_speedup = Numeric.Stats.speedup ~serial ~parallel:mpmd.finish_time;
+    spmd_speedup = Numeric.Stats.speedup ~serial ~parallel:spmd.finish_time;
+    mpmd_efficiency =
+      Numeric.Stats.efficiency ~serial ~parallel:mpmd.finish_time ~procs;
+    spmd_efficiency =
+      Numeric.Stats.efficiency ~serial ~parallel:spmd.finish_time ~procs;
+    predicted = predicted_time p;
+    phi = phi p;
+  }

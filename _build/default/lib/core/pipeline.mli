@@ -1,0 +1,68 @@
+(** End-to-end compilation pipeline: the composition the PARADIGM
+    compiler performs (paper Section 1.2).
+
+    [plan] runs allocation (convex program) and scheduling (PSA);
+    [simulate] generates the MPMD program and executes it on the
+    simulated machine; [simulate_spmd] runs the pure-data-parallel
+    baseline the paper compares against. *)
+
+type plan = {
+  graph : Mdg.Graph.t;
+  params : Costmodel.Params.t;
+  procs : int;
+  allocation : Allocation.result;
+  psa : Psa.result;
+}
+
+val plan :
+  ?solver_options:Convex.Solver.options ->
+  ?psa_options:Psa.options ->
+  Costmodel.Params.t ->
+  Mdg.Graph.t ->
+  procs:int ->
+  plan
+(** Normalises the graph if necessary, solves the allocation problem
+    and runs the PSA. *)
+
+val phi : plan -> float
+(** Φ: the convex program's optimal finish time. *)
+
+val predicted_time : plan -> float
+(** T_psa: the schedule's (model-)predicted program finish time. *)
+
+val schedule : plan -> Schedule.t
+
+val simulate : Machine.Ground_truth.t -> plan -> Machine.Sim.result
+(** Generate the MPMD program and execute it on the machine. *)
+
+val simulate_spmd :
+  Machine.Ground_truth.t -> Mdg.Graph.t -> procs:int -> Machine.Sim.result
+(** Run the SPMD baseline of the (normalised) graph. *)
+
+val serial_time : Machine.Ground_truth.t -> Mdg.Graph.t -> float
+(** Measured single-processor execution time: sum of kernel serial
+    times, no communication.  The speedup baseline of Figure 8. *)
+
+type comparison = {
+  procs : int;
+  serial : float;
+  mpmd_time : float;
+  spmd_time : float;
+  mpmd_speedup : float;
+  spmd_speedup : float;
+  mpmd_efficiency : float;
+  spmd_efficiency : float;
+  predicted : float;   (** T_psa *)
+  phi : float;
+}
+
+val compare_mpmd_spmd :
+  ?solver_options:Convex.Solver.options ->
+  ?psa_options:Psa.options ->
+  Machine.Ground_truth.t ->
+  Costmodel.Params.t ->
+  Mdg.Graph.t ->
+  procs:int ->
+  comparison
+(** The full Figure 8 / Figure 9 / Table 3 measurement for one machine
+    size. *)

@@ -1,0 +1,74 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let to_string s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "schedule %d\n" (Schedule.machine_procs s));
+  List.iter
+    (fun (e : Schedule.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "entry %d %.17g %.17g %s\n" e.node e.start e.finish
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int e.procs)))))
+    (Schedule.entries s);
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let machine = ref None in
+  let entries = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then
+        match String.split_on_char ' ' line with
+        | [ "schedule"; procs ] -> (
+            if !machine <> None then fail lineno "duplicate schedule header";
+            match int_of_string_opt procs with
+            | Some p when p >= 1 -> machine := Some p
+            | _ -> fail lineno "bad processor count %S" procs)
+        | [ "entry"; node; start; finish; procs ] -> (
+            if !machine = None then fail lineno "entry before schedule header";
+            let int_field name v =
+              match int_of_string_opt v with
+              | Some i -> i
+              | None -> fail lineno "bad %s %S" name v
+            in
+            let float_field name v =
+              match float_of_string_opt v with
+              | Some f -> f
+              | None -> fail lineno "bad %s %S" name v
+            in
+            let procs =
+              String.split_on_char ',' procs
+              |> List.map (int_field "processor")
+              |> Array.of_list
+            in
+            entries :=
+              {
+                Schedule.node = int_field "node" node;
+                start = float_field "start" start;
+                finish = float_field "finish" finish;
+                procs;
+              }
+              :: !entries)
+        | _ -> fail lineno "cannot parse line")
+    lines;
+  match !machine with
+  | None -> fail 0 "missing schedule header"
+  | Some machine_procs -> Schedule.make ~machine_procs (List.rev !entries)
+
+let save path s =
+  let oc = open_out path in
+  output_string oc (to_string s);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text

@@ -1,0 +1,26 @@
+(** Textual serialisation of schedules, so a plan computed once (the
+    expensive convex solve) can be saved and re-simulated or inspected
+    later.
+
+    Format:
+
+    {v
+      schedule <machine_procs>
+      entry <node> <start> <finish> <proc,proc,...>
+      ...
+    v}
+
+    Round-trips: [of_string (to_string s)] reconstructs an equal
+    schedule. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Schedule.t -> string
+
+val of_string : string -> Schedule.t
+(** Raises {!Parse_error} on malformed input and [Invalid_argument] if
+    the entries fail {!Schedule.make} validation. *)
+
+val save : string -> Schedule.t -> unit
+
+val load : string -> Schedule.t

@@ -1,0 +1,1 @@
+lib/costmodel/fit.ml: Array Float Fun List Mdg Numeric Params Processing Transfer

@@ -1,0 +1,1 @@
+lib/costmodel/fit.mli: Mdg Params Transfer

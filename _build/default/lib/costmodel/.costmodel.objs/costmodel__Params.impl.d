@@ -1,0 +1,1 @@
+lib/costmodel/params.ml: Float Format Hashtbl List Mdg Printf

@@ -1,0 +1,1 @@
+lib/costmodel/processing.ml: Convex Params

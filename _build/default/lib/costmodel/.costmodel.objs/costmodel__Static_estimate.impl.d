@@ -1,0 +1,1 @@
+lib/costmodel/static_estimate.ml: List Mdg Params

@@ -1,0 +1,1 @@
+lib/costmodel/transfer.mli: Convex Mdg Params

@@ -1,0 +1,1 @@
+lib/costmodel/weights.ml: Array Float List Mdg Params Processing Transfer

@@ -1,0 +1,1 @@
+lib/costmodel/weights.mli: Mdg Params

@@ -1,0 +1,107 @@
+module L = Numeric.Linreg
+
+type quality = { r_squared : float; rmse : float }
+
+let quality_of_fit (f : L.fit) = { r_squared = f.r_squared; rmse = f.rmse }
+
+let fit_processing samples =
+  let distinct = List.sort_uniq compare (List.map fst samples) in
+  if List.length distinct < 2 then
+    invalid_arg "Fit.fit_processing: need at least two distinct processor counts";
+  List.iter
+    (fun (p, t) ->
+      if p < 1 then invalid_arg "Fit.fit_processing: processor count < 1";
+      if t < 0.0 then invalid_arg "Fit.fit_processing: negative time")
+    samples;
+  let inputs = List.map (fun (p, _) -> [| float_of_int p |]) samples in
+  let observations = List.map snd samples in
+  let f =
+    L.fit ~basis:(fun a -> [| 1.0; 1.0 /. a.(0) |]) ~inputs ~observations
+  in
+  let a = Float.max f.coeffs.(0) 0.0 in
+  let b = Float.max f.coeffs.(1) 0.0 in
+  let tau = a +. b in
+  let alpha = if tau <= 0.0 then 0.0 else Float.min 1.0 (a /. tau) in
+  (({ alpha; tau } : Params.processing), quality_of_fit f)
+
+type transfer_sample = {
+  kind : Mdg.Graph.transfer_kind;
+  p_send : int;
+  p_recv : int;
+  bytes : float;
+  measured : Transfer.components;
+}
+
+type transfer_fit = {
+  params : Params.transfer;
+  send_quality : quality;
+  receive_quality : quality;
+  network_quality : quality;
+}
+
+let validate_sample s =
+  if s.p_send < 1 || s.p_recv < 1 then
+    invalid_arg "Fit.fit_transfer: processor count < 1";
+  if s.bytes <= 0.0 then invalid_arg "Fit.fit_transfer: non-positive byte count"
+
+(* Startup-count and per-byte bases from eqs. 2-3 of the paper. *)
+let send_basis s =
+  let pi = float_of_int s.p_send and pj = float_of_int s.p_recv in
+  match s.kind with
+  | Mdg.Graph.Oned -> [| Float.max pi pj /. pi; s.bytes /. pi |]
+  | Mdg.Graph.Twod -> [| pj; s.bytes /. pi |]
+
+let receive_basis s =
+  let pi = float_of_int s.p_send and pj = float_of_int s.p_recv in
+  match s.kind with
+  | Mdg.Graph.Oned -> [| Float.max pi pj /. pj; s.bytes /. pj |]
+  | Mdg.Graph.Twod -> [| pi; s.bytes /. pj |]
+
+let network_basis s =
+  let pi = float_of_int s.p_send and pj = float_of_int s.p_recv in
+  match s.kind with
+  | Mdg.Graph.Oned -> [| s.bytes /. Float.max pi pj |]
+  | Mdg.Graph.Twod -> [| s.bytes /. (pi *. pj) |]
+
+let component_fit ~basis ~value samples =
+  let inputs = List.map (fun s -> basis s) samples in
+  let observations = List.map value samples in
+  L.fit ~basis:Fun.id ~inputs ~observations
+
+let fit_transfer samples =
+  if List.length samples < 2 then
+    invalid_arg "Fit.fit_transfer: need at least two samples";
+  List.iter validate_sample samples;
+  let send =
+    component_fit ~basis:send_basis
+      ~value:(fun s -> s.measured.Transfer.send)
+      samples
+  in
+  let receive =
+    component_fit ~basis:receive_basis
+      ~value:(fun s -> s.measured.Transfer.receive)
+      samples
+  in
+  let network =
+    component_fit ~basis:network_basis
+      ~value:(fun s -> s.measured.Transfer.network)
+      samples
+  in
+  let pos v = Float.max v 0.0 in
+  let params : Params.transfer =
+    {
+      t_ss = pos send.coeffs.(0);
+      t_ps = pos send.coeffs.(1);
+      t_sr = pos receive.coeffs.(0);
+      t_pr = pos receive.coeffs.(1);
+      t_n = pos network.coeffs.(0);
+    }
+  in
+  {
+    params;
+    send_quality = quality_of_fit send;
+    receive_quality = quality_of_fit receive;
+    network_quality = quality_of_fit network;
+  }
+
+let predict_processing = Processing.cost_int

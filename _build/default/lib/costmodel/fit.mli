@@ -1,0 +1,44 @@
+(** Training-sets parameter fitting (paper Section 4, after
+    Balasundaram et al.): run measurements on the target machine, then
+    least-squares fit the cost-model parameters.
+
+    Processing: [t(p) = α·τ + (1-α)·τ/p] is linear in [(a, b) =
+    (α·τ, (1-α)·τ)] with basis [(1, 1/p)]; then [τ = a + b] and
+    [α = a/(a+b)].
+
+    Transfers: send costs across both 1D and 2D samples share the
+    coefficients [(t_ss, t_ps)] with kind-dependent bases
+    ([max(pᵢ,pⱼ)/pᵢ, L/pᵢ] for 1D; [pⱼ, L/pᵢ] for 2D), and similarly
+    receive costs share [(t_sr, t_pr)]; the network coefficient [t_n]
+    is fit on its own basis. *)
+
+type quality = { r_squared : float; rmse : float }
+
+val fit_processing : (int * float) list -> Params.processing * quality
+(** [fit_processing [(p, seconds); ...]] fits Amdahl parameters.
+    Requires at least two distinct processor counts.  The fitted α is
+    clamped into [0, 1]. *)
+
+type transfer_sample = {
+  kind : Mdg.Graph.transfer_kind;
+  p_send : int;
+  p_recv : int;
+  bytes : float;
+  measured : Transfer.components;  (** measured times, seconds *)
+}
+
+type transfer_fit = {
+  params : Params.transfer;
+  send_quality : quality;
+  receive_quality : quality;
+  network_quality : quality;
+}
+
+val fit_transfer : transfer_sample list -> transfer_fit
+(** Fit all five Table 2 parameters.  Requires at least two samples
+    with distinct bases per component.  Negative fitted coefficients
+    are clamped to zero (as happens for [t_n] on the CM-5, where the
+    network time is absorbed into the receive cost). *)
+
+val predict_processing : Params.processing -> int -> float
+(** Model prediction, convenience re-export of {!Processing.cost_int}. *)

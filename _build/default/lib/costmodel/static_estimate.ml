@@ -1,0 +1,63 @@
+module G = Mdg.Graph
+
+type datasheet = {
+  flop_time : float;
+  mem_op_time : float;
+  store_time : float;
+  loop_startup : float;
+  gather_per_byte : float;
+  nominal_transfer : Params.transfer;
+}
+
+(* Nominal constants one would read off CM-5 documentation: a ~33 MHz
+   SPARC node with vector units disabled sustains roughly 1.8 Mflop/s
+   on compiled dense loops; CMMD quotes sub-millisecond message
+   latencies.  None of these are fitted against the simulator. *)
+let cm5_datasheet =
+  {
+    flop_time = 560e-9;
+    mem_op_time = 900e-9;
+    store_time = 400e-9;
+    loop_startup = 150e-6;
+    gather_per_byte = 1.0e-6;
+    nominal_transfer =
+      { t_ss = 700e-6; t_ps = 500e-9; t_sr = 500e-6; t_pr = 400e-9; t_n = 0.0 };
+  }
+
+let amdahl_of ~serial ~parallel : Params.processing =
+  let tau = serial +. parallel in
+  if tau <= 0.0 then { alpha = 0.0; tau = 0.0 }
+  else { alpha = serial /. tau; tau }
+
+let estimate_processing ds kernel : Params.processing =
+  match kernel with
+  | G.Dummy -> { alpha = 0.0; tau = 0.0 }
+  | G.Synthetic { alpha; tau } -> { alpha; tau }
+  | G.Matrix_init n ->
+      let elems = float_of_int (n * n) in
+      amdahl_of ~serial:ds.loop_startup ~parallel:(elems *. ds.store_time)
+  | G.Matrix_add n ->
+      let elems = float_of_int (n * n) in
+      amdahl_of ~serial:ds.loop_startup ~parallel:(elems *. ds.mem_op_time)
+  | G.Matrix_multiply _ ->
+      (* 2n^3 flops of parallelisable work; gathering the second
+         operand's blocks moves ~8n^2 bytes per processor regardless of
+         p, which is what shows up as the loop's serial fraction. *)
+      let flops = G.kernel_flops kernel in
+      let gather_bytes = G.kernel_bytes kernel in
+      amdahl_of
+        ~serial:(ds.loop_startup +. (gather_bytes *. ds.gather_per_byte))
+        ~parallel:(flops *. ds.flop_time)
+
+let estimate_transfer ds = ds.nominal_transfer
+
+let params ds kernels =
+  let t = Params.make ~transfer:(estimate_transfer ds) in
+  List.iter
+    (fun kernel ->
+      match kernel with
+      | G.Synthetic _ | G.Dummy -> ()
+      | G.Matrix_init _ | G.Matrix_add _ | G.Matrix_multiply _ ->
+          Params.set_processing t kernel (estimate_processing ds kernel))
+    (List.sort_uniq compare kernels);
+  t

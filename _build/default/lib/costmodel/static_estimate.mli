@@ -1,0 +1,52 @@
+(** Static (measurement-free) cost estimation.
+
+    The paper obtains its model parameters by the training-sets
+    approach — running microbenchmarks on the CM-5 — and notes
+    (Section 1.2, item 2) that the static estimation techniques of
+    Gupta and Banerjee could eliminate the measurements.  This module
+    provides that alternative: it derives Amdahl processing parameters
+    and transfer parameters purely from a machine {e datasheet} (per-
+    operation costs a vendor publishes) and the structure of each
+    kernel (operation counts, intra-loop communication volume).
+
+    Static estimates are deliberately rougher than fitted ones — the
+    point of the experiment comparing them (bench target [static]) is
+    to quantify how much accuracy the training-sets approach buys. *)
+
+type datasheet = {
+  flop_time : float;
+      (** nominal seconds per floating-point operation in a
+          compute-bound loop (matrix multiply) *)
+  mem_op_time : float;
+      (** seconds per element operation in a memory-bound loop
+          (matrix addition: 2 loads + 1 store per flop) *)
+  store_time : float;
+      (** seconds per element store (initialisation loops) *)
+  loop_startup : float;
+      (** fixed per-loop-nest overhead: argument broadcast, loop
+          bounds setup — serial with respect to p *)
+  gather_per_byte : float;
+      (** effective seconds per byte of intra-loop operand gathering
+          (matrix multiply needs remote rows/columns of one operand;
+          this traffic does not shrink with p and so behaves as serial
+          fraction) *)
+  nominal_transfer : Params.transfer;
+      (** vendor-quoted message-passing constants *)
+}
+
+val cm5_datasheet : datasheet
+(** A plausible CM-5 datasheet, written down from nominal hardware
+    characteristics rather than measurement (and therefore close to,
+    but not equal to, the paper's fitted Table 1/2 values). *)
+
+val estimate_processing : datasheet -> Mdg.Graph.kernel -> Params.processing
+(** Amdahl parameters from operation counts: [tau] is serial +
+    parallelisable work, [alpha] their ratio.  [Synthetic] kernels
+    return their own parameters; [Dummy] is free. *)
+
+val estimate_transfer : datasheet -> Params.transfer
+(** The datasheet's nominal transfer constants. *)
+
+val params : datasheet -> Mdg.Graph.kernel list -> Params.t
+(** Full parameter set for the given kernels, statically estimated —
+    a drop-in replacement for {!Machine.Measure.calibrate}'s result. *)

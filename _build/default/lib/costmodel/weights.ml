@@ -1,0 +1,48 @@
+module G = Mdg.Graph
+
+let transfer_components params ~alloc (e : G.edge) =
+  Transfer.components (Params.transfer params) ~kind:e.kind ~bytes:e.bytes
+    ~p_send:(alloc e.src) ~p_recv:(alloc e.dst)
+
+let processing_only params g ~alloc i =
+  let nd = G.node g i in
+  Processing.cost (Params.processing params nd.kernel) (alloc i)
+
+let node_weight params g ~alloc i =
+  let recv =
+    List.fold_left
+      (fun acc e -> acc +. (transfer_components params ~alloc e).receive)
+      0.0 (G.preds g i)
+  in
+  let send =
+    List.fold_left
+      (fun acc e -> acc +. (transfer_components params ~alloc e).send)
+      0.0 (G.succs g i)
+  in
+  recv +. processing_only params g ~alloc i +. send
+
+let edge_weight params ~alloc e = (transfer_components params ~alloc e).network
+
+let average_finish_time params g ~alloc ~procs =
+  if procs < 1 then invalid_arg "Weights.average_finish_time: procs < 1";
+  let area =
+    Mdg.Analysis.total_area ~node_weight:(node_weight params g ~alloc) ~procs:alloc g
+  in
+  area /. float_of_int procs
+
+let critical_path_time params g ~alloc =
+  Mdg.Analysis.critical_path_time
+    ~node_weight:(node_weight params g ~alloc)
+    ~edge_weight:(edge_weight params ~alloc)
+    g
+
+let lower_bound params g ~alloc ~procs =
+  Float.max
+    (average_finish_time params g ~alloc ~procs)
+    (critical_path_time params g ~alloc)
+
+let serial_time params g =
+  Array.fold_left
+    (fun acc (nd : G.node) ->
+      acc +. (Params.processing params nd.kernel).tau)
+    0.0 (G.nodes g)

@@ -1,0 +1,37 @@
+(** Concrete MDG weights under a given processor allocation.
+
+    Combines {!Processing} and {!Transfer} into the paper's node weight
+    [Tᵢ = Σ t^R + t^C + Σ t^S] and edge weight [t^D], evaluated at a
+    concrete (real- or integer-valued) allocation.  Used by the PSA to
+    recompute weights after rounding/bounding, and by the predictor. *)
+
+val node_weight :
+  Params.t -> Mdg.Graph.t -> alloc:(int -> float) -> int -> float
+(** [node_weight params g ~alloc i] is [Tᵢ]: receive components of all
+    incoming transfers + processing cost + send components of all
+    outgoing transfers, at the given allocation. *)
+
+val processing_only :
+  Params.t -> Mdg.Graph.t -> alloc:(int -> float) -> int -> float
+(** Just [t^C]. *)
+
+val edge_weight : Params.t -> alloc:(int -> float) -> Mdg.Graph.edge -> float
+(** [t^D] for the edge. *)
+
+val average_finish_time :
+  Params.t -> Mdg.Graph.t -> alloc:(int -> float) -> procs:int -> float
+(** [A_p = (1/p)·Σ Tᵢ·pᵢ]. *)
+
+val critical_path_time :
+  Params.t -> Mdg.Graph.t -> alloc:(int -> float) -> float
+(** [C_p]: longest-path finish time under the allocation. *)
+
+val lower_bound :
+  Params.t -> Mdg.Graph.t -> alloc:(int -> float) -> procs:int -> float
+(** [max(A_p, C_p)]: the paper's Φ evaluated at a specific allocation
+    (the convex program minimises this quantity over allocations). *)
+
+val serial_time : Params.t -> Mdg.Graph.t -> float
+(** Total single-processor execution time: [Σ τᵢ], no transfers (on
+    one processor all data is local).  The speedup baseline used in
+    Figure 8. *)

@@ -1,0 +1,1 @@
+lib/frontend/interp.ml: Ast Char Hashtbl Kernels List Numeric Printf String

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Ast Format Hashtbl List Mdg Option

@@ -1,0 +1,1 @@
+lib/frontend/opt.ml: Array Ast Hashtbl Int List Option Printf Set String

@@ -1,0 +1,1 @@
+lib/frontend/opt.mli: Ast

@@ -1,0 +1,1 @@
+lib/frontend/parse.ml: Ast Buffer List Printf String

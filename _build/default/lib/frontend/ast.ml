@@ -1,0 +1,92 @@
+type distribution = Row | Col
+
+type rhs =
+  | Init
+  | Add of string * string
+  | Sub of string * string
+  | Mul of string * string
+
+type stmt = {
+  target : string;
+  rhs : rhs;
+  dist : distribution;
+}
+
+type program = {
+  size : int;
+  stmts : stmt list;
+}
+
+let stmt ?(dist = Row) target rhs = { target; rhs; dist }
+
+let reads s =
+  match s.rhs with
+  | Init -> []
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> [ a; b ]
+
+let program ~size stmts =
+  if size < 1 then invalid_arg "Ast.program: size < 1";
+  if stmts = [] then invalid_arg "Ast.program: empty program";
+  let defined = Hashtbl.create 16 in
+  List.iteri
+    (fun k s ->
+      if s.target = "" then
+        invalid_arg (Printf.sprintf "Ast.program: statement %d has empty target" k);
+      List.iter
+        (fun operand ->
+          if not (Hashtbl.mem defined operand) then
+            invalid_arg
+              (Printf.sprintf
+                 "Ast.program: statement %d reads undefined matrix %s" k operand))
+        (reads s);
+      Hashtbl.replace defined s.target ())
+    stmts;
+  { size; stmts }
+
+let defined_matrices p =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun s ->
+      if Hashtbl.mem seen s.target then None
+      else begin
+        Hashtbl.add seen s.target ();
+        Some s.target
+      end)
+    p.stmts
+
+let outputs p =
+  let stmts = Array.of_list p.stmts in
+  let n = Array.length stmts in
+  let last_def = Hashtbl.create 16 in
+  Array.iteri (fun k s -> Hashtbl.replace last_def s.target k) stmts;
+  let read_after name def_idx =
+    let rec go k =
+      k < n && (List.mem name (reads stmts.(k)) || go (k + 1))
+    in
+    go (def_idx + 1)
+  in
+  defined_matrices p
+  |> List.filter (fun name -> not (read_after name (Hashtbl.find last_def name)))
+
+let kernel_of_stmt ~size s : Mdg.Graph.kernel =
+  match s.rhs with
+  | Init -> Matrix_init size
+  | Add _ | Sub _ -> Matrix_add size
+  | Mul _ -> Matrix_multiply size
+
+let pp_dist fmt = function
+  | Row -> Format.fprintf fmt "row"
+  | Col -> Format.fprintf fmt "col"
+
+let pp_stmt fmt s =
+  (match s.rhs with
+  | Init -> Format.fprintf fmt "%s = init" s.target
+  | Add (a, b) -> Format.fprintf fmt "%s = %s + %s" s.target a b
+  | Sub (a, b) -> Format.fprintf fmt "%s = %s - %s" s.target a b
+  | Mul (a, b) -> Format.fprintf fmt "%s = %s * %s" s.target a b);
+  Format.fprintf fmt " @@%a" pp_dist s.dist
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>size %d@," p.size;
+  List.iter (fun s -> Format.fprintf fmt "%a@," pp_stmt s) p.stmts;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,54 @@
+(** A miniature matrix-program IR — the front-end substrate the paper
+    defers to future work (Section 1.2, step 1: "identification of the
+    nodes and edges to be used in the MDG representation").
+
+    A program is a sequence of whole-matrix statements over named N×N
+    matrices.  Every statement corresponds to one loop nest (one MDG
+    node); data dependences between statements become MDG edges. *)
+
+type distribution =
+  | Row  (** matrix distributed by blocks of rows *)
+  | Col  (** matrix distributed by blocks of columns *)
+
+type rhs =
+  | Init                       (** initialise the target *)
+  | Add of string * string     (** elementwise sum *)
+  | Sub of string * string     (** elementwise difference *)
+  | Mul of string * string     (** matrix product *)
+
+type stmt = {
+  target : string;
+  rhs : rhs;
+  dist : distribution;  (** distribution of the loop's iteration space *)
+}
+
+type program = {
+  size : int;          (** all matrices are size×size *)
+  stmts : stmt list;
+}
+
+val stmt : ?dist:distribution -> string -> rhs -> stmt
+(** [dist] defaults to [Row]. *)
+
+val program : size:int -> stmt list -> program
+(** Validates the program:
+    - [size >= 1] and at least one statement;
+    - every operand is defined (written by an earlier statement);
+    - no statement reads its own target before this definition exists.
+    Raises [Invalid_argument] with a descriptive message otherwise. *)
+
+val reads : stmt -> string list
+
+val defined_matrices : program -> string list
+(** In first-definition order. *)
+
+val outputs : program -> string list
+(** Matrices whose final value is never read by a later statement —
+    the program's results, and the default preservation set for the
+    optimiser. *)
+
+val kernel_of_stmt : size:int -> stmt -> Mdg.Graph.kernel
+
+val pp_stmt : Format.formatter -> stmt -> unit
+
+val pp : Format.formatter -> program -> unit

@@ -1,0 +1,51 @@
+module Mat = Numeric.Mat
+
+let name_seed seed name =
+  (* FNV-1a over the name, mixed with the ambient seed. *)
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    name;
+  !h lxor (seed * 0x9E3779B1) land 0x3FFFFFFF
+
+let run ?(seed = 0) (p : Ast.program) =
+  let env : (string, Mat.t) Hashtbl.t = Hashtbl.create 16 in
+  let value name =
+    match Hashtbl.find_opt env name with
+    | Some m -> m
+    | None -> assert false (* Ast.program validates defined-before-use *)
+  in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      let result =
+        match s.rhs with
+        | Ast.Init ->
+            Kernels.Dense.random_matrix ~seed:(name_seed seed s.target) p.size
+        | Ast.Add (a, b) -> Mat.add (value a) (value b)
+        | Ast.Sub (a, b) -> Mat.sub (value a) (value b)
+        | Ast.Mul (a, b) -> Mat.matmul (value a) (value b)
+      in
+      Hashtbl.replace env s.target result)
+    p.stmts;
+  List.map (fun name -> (name, value name)) (Ast.defined_matrices p)
+
+let outputs ?seed p =
+  let finals = run ?seed p in
+  let outs = Ast.outputs p in
+  List.filter (fun (name, _) -> List.mem name outs) finals
+
+let equivalent ?seed ?(eps = 1e-9) ~on p q =
+  let vp = run ?seed p and vq = run ?seed q in
+  let find prog finals name =
+    match List.assoc_opt name finals with
+    | Some m -> m
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Interp.equivalent: %s not defined in %s" name prog)
+  in
+  List.for_all
+    (fun name ->
+      Mat.approx_equal ~eps (find "first program" vp name)
+        (find "second program" vq name))
+    on

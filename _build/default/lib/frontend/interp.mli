@@ -1,0 +1,23 @@
+(** Reference interpreter for matrix programs.
+
+    Executes a program on real dense matrices ({!Numeric.Mat}), giving
+    the optimiser and lowering passes a ground truth to be checked
+    against: a transformation is semantics-preserving iff the final
+    values of the preserved matrices are unchanged.
+
+    [init] fills the target deterministically from the matrix {e name}
+    (and the ambient [seed]), so re-initialising the same name yields
+    the same data and removing unrelated statements cannot change any
+    surviving value. *)
+
+val run : ?seed:int -> Ast.program -> (string * Numeric.Mat.t) list
+(** Final value of every defined matrix, in first-definition order. *)
+
+val outputs : ?seed:int -> Ast.program -> (string * Numeric.Mat.t) list
+(** Final values of just the program's {!Ast.outputs}. *)
+
+val equivalent : ?seed:int -> ?eps:float -> on:string list ->
+  Ast.program -> Ast.program -> bool
+(** Do the two programs compute the same final values for the matrices
+    named in [on]?  Raises [Invalid_argument] if either program does
+    not define one of them. *)

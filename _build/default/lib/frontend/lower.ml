@@ -1,0 +1,56 @@
+module G = Mdg.Graph
+
+type node_map = { node_of_stmt : int array }
+
+let flow_dependences (p : Ast.program) =
+  let last_writer = Hashtbl.create 16 in
+  let deps = ref [] in
+  List.iteri
+    (fun k (s : Ast.stmt) ->
+      List.iter
+        (fun operand ->
+          match Hashtbl.find_opt last_writer operand with
+          | Some w -> deps := (w, k, operand) :: !deps
+          | None ->
+              (* Ast.program validation guarantees a writer exists. *)
+              assert false)
+        (Ast.reads s);
+      Hashtbl.replace last_writer s.target k)
+    p.stmts;
+  List.rev !deps
+
+let to_mdg (p : Ast.program) =
+  let stmts = Array.of_list p.stmts in
+  let b = G.create_builder () in
+  let node_of_stmt =
+    Array.mapi
+      (fun k (s : Ast.stmt) ->
+        let label = Format.asprintf "s%d: %a" k Ast.pp_stmt s in
+        G.add_node b ~label ~kernel:(Ast.kernel_of_stmt ~size:p.size s))
+      stmts
+  in
+  (* Merge dependences per (writer, reader) pair: byte counts add, and
+     any 2D contribution makes the merged edge 2D. *)
+  let merged : (int * int, float * G.transfer_kind) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let operand_bytes = float_of_int (8 * p.size * p.size) in
+  List.iter
+    (fun (w, r, _operand) ->
+      let kind : G.transfer_kind =
+        if stmts.(w).Ast.dist = stmts.(r).Ast.dist then Oned else Twod
+      in
+      let bytes0, kind0 =
+        Option.value (Hashtbl.find_opt merged (w, r)) ~default:(0.0, kind)
+      in
+      let kind = if kind0 = G.Twod || kind = G.Twod then G.Twod else G.Oned in
+      Hashtbl.replace merged (w, r) (bytes0 +. operand_bytes, kind))
+    (flow_dependences p);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
+  |> List.sort compare
+  |> List.iter (fun ((w, r), (bytes, kind)) ->
+         G.add_edge b ~src:node_of_stmt.(w) ~dst:node_of_stmt.(r) ~bytes ~kind);
+  (G.normalise (G.build b), { node_of_stmt })
+
+let kernels (p : Ast.program) =
+  List.map (Ast.kernel_of_stmt ~size:p.size) p.stmts |> List.sort_uniq compare

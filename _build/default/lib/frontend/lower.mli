@@ -1,0 +1,24 @@
+(** Lowering {!Ast} programs to MDGs: dependence analysis plus
+    transfer classification.
+
+    Each statement becomes one node.  For every operand read, a
+    flow-dependence edge is added from the operand's last writer; edges
+    between the same pair of statements are merged (their byte counts
+    add).  The transfer kind is 1D when producer and consumer use the
+    same distribution and 2D when the distribution dimension flips; a
+    merged edge is 2D if any contributing operand needed
+    redistribution, which over-approximates cost conservatively. *)
+
+type node_map = {
+  node_of_stmt : int array;  (** statement index -> MDG node id *)
+}
+
+val to_mdg : Ast.program -> Mdg.Graph.t * node_map
+(** Normalised MDG of the program. *)
+
+val kernels : Ast.program -> Mdg.Graph.kernel list
+(** Distinct kernels used by the program (for calibration). *)
+
+val flow_dependences : Ast.program -> (int * int * string) list
+(** Raw dependence triples [(writer stmt, reader stmt, matrix)] before
+    merging — exposed for tests. *)

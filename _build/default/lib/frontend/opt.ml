@@ -1,0 +1,118 @@
+module SS = Set.Make (String)
+
+let defined_check p names =
+  let defined = SS.of_list (Ast.defined_matrices p) in
+  List.iter
+    (fun name ->
+      if not (SS.mem name defined) then
+        invalid_arg
+          (Printf.sprintf "Opt: keep mentions undefined matrix %s" name))
+    names
+
+let dead_code_elimination ?keep (p : Ast.program) =
+  let keep = match keep with None -> Ast.outputs p | Some names -> names in
+  defined_check p keep;
+  let stmts = Array.of_list p.stmts in
+  let n = Array.length stmts in
+  let needed = Array.make n false in
+  (* Backward liveness over matrix names: a statement is needed iff its
+     target is live just after it. *)
+  let live = ref (SS.of_list keep) in
+  for k = n - 1 downto 0 do
+    let s = stmts.(k) in
+    if SS.mem s.Ast.target !live then begin
+      needed.(k) <- true;
+      live := SS.remove s.Ast.target !live;
+      List.iter (fun r -> live := SS.add r !live) (Ast.reads s)
+    end
+  done;
+  let kept =
+    Array.to_list stmts
+    |> List.filteri (fun k _ -> needed.(k))
+  in
+  Ast.program ~size:p.size kept
+
+let common_subexpressions ?(keep = []) (p : Ast.program) =
+  defined_check p keep;
+  let protected_names = SS.of_list keep in
+  (* Global value numbering.  Only names defined exactly once may serve
+     as representatives for reuse: they hold their value for the rest
+     of the program, so redirecting a later read to them is always
+     safe. *)
+  let def_count = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      Hashtbl.replace def_count s.target
+        (1 + Option.value (Hashtbl.find_opt def_count s.target) ~default:0))
+    p.stmts;
+  let single_assignment name = Hashtbl.find_opt def_count name = Some 1 in
+  let next_vn = ref 0 in
+  let fresh () =
+    incr next_vn;
+    !next_vn
+  in
+  let env : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let rep : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let table : (string * int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let vn_of name = Hashtbl.find env name in
+  (* The name to use when reading [name]: its representative if its
+     current value has one, otherwise the name itself. *)
+  let resolved name =
+    Option.value (Hashtbl.find_opt rep (vn_of name)) ~default:name
+  in
+  let kept = ref [] in
+  let define target vn =
+    Hashtbl.replace env target vn;
+    if single_assignment target && not (Hashtbl.mem rep vn) then
+      Hashtbl.replace rep vn target
+  in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s.rhs with
+      | Ast.Init ->
+          (* Fresh data every time: never merged. *)
+          define s.target (fresh ());
+          kept := s :: !kept
+      | Ast.Add (a, b) | Ast.Sub (a, b) | Ast.Mul (a, b) -> (
+          let va = vn_of a and vb = vn_of b in
+          let key =
+            match s.rhs with
+            | Ast.Add _ ->
+                (* Commutative: canonicalise operand order. *)
+                ("+", Int.min va vb, Int.max va vb)
+            | Ast.Sub _ -> ("-", va, vb)
+            | Ast.Mul _ -> ("*", va, vb)
+            | Ast.Init -> assert false
+          in
+          let reusable =
+            (* A protected (kept output) name must stay defined. *)
+            if SS.mem s.target protected_names then None
+            else
+              match Hashtbl.find_opt table key with
+              | Some vn when Hashtbl.mem rep vn -> Some vn
+              | Some _ | None -> None
+          in
+          match reusable with
+          | Some vn ->
+              (* Drop the statement; later reads of the target resolve
+                 to the representative. *)
+              Hashtbl.replace env s.target vn
+          | None ->
+              let ra = resolved a and rb = resolved b in
+              let rhs =
+                match s.rhs with
+                | Ast.Add _ -> Ast.Add (ra, rb)
+                | Ast.Sub _ -> Ast.Sub (ra, rb)
+                | Ast.Mul _ -> Ast.Mul (ra, rb)
+                | Ast.Init -> assert false
+              in
+              let vn = fresh () in
+              Hashtbl.replace table key vn;
+              define s.target vn;
+              kept := { s with rhs } :: !kept))
+    p.stmts;
+  Ast.program ~size:p.size (List.rev !kept)
+
+let optimise ?keep p =
+  let keep = match keep with None -> Ast.outputs p | Some names -> names in
+  dead_code_elimination ~keep (common_subexpressions ~keep p)

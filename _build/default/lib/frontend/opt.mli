@@ -1,0 +1,26 @@
+(** Classic scalar optimisations over matrix programs, run before MDG
+    lowering: fewer statements means fewer MDG nodes for the allocator
+    and scheduler to place.
+
+    Both passes are semantics-preserving with respect to the program's
+    {e live-out} matrices — by default, the final value of every
+    matrix name. *)
+
+val dead_code_elimination : ?keep:string list -> Ast.program -> Ast.program
+(** Remove statements whose results can never reach a live-out value.
+    [keep] names the matrices whose final values must be preserved
+    (default: {!Ast.outputs}).  Raises [Invalid_argument] if [keep]
+    mentions an undefined matrix. *)
+
+val common_subexpressions : ?keep:string list -> Ast.program -> Ast.program
+(** Global value numbering: a statement whose right-hand side computes
+    the same value as an earlier one (same operator on operands with
+    the same value numbers; [+] is commutative, [-] and [*] are not;
+    [init] is never merged) is deleted, and later reads of its target
+    are redirected to the surviving name.  A statement is only reused
+    while the surviving name still holds that value (redefinitions
+    invalidate it), and statements defining a [keep] name are never
+    deleted (default [keep]: nothing protected). *)
+
+val optimise : ?keep:string list -> Ast.program -> Ast.program
+(** [common_subexpressions] followed by [dead_code_elimination]. *)

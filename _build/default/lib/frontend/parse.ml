@@ -1,0 +1,97 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let is_ident s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_')
+       s
+  && not (s.[0] >= '0' && s.[0] <= '9')
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_dist lineno = function
+  | "@row" -> Ast.Row
+  | "@col" -> Ast.Col
+  | other -> fail lineno "expected @row or @col, got %s" other
+
+let parse_stmt lineno toks =
+  let stmt_of target rhs dist = Ast.stmt ?dist target rhs in
+  let check_ident t =
+    if not (is_ident t) then fail lineno "bad identifier %s" t;
+    t
+  in
+  match toks with
+  | [ t; "="; "init" ] -> stmt_of (check_ident t) Ast.Init None
+  | [ t; "="; "init"; d ] ->
+      stmt_of (check_ident t) Ast.Init (Some (parse_dist lineno d))
+  | [ t; "="; a; op; b ] | [ t; "="; a; op; b; _ ] ->
+      let dist =
+        match toks with
+        | [ _; _; _; _; _; d ] -> Some (parse_dist lineno d)
+        | _ -> None
+      in
+      let a = check_ident a and b = check_ident b in
+      let rhs =
+        match op with
+        | "+" -> Ast.Add (a, b)
+        | "-" -> Ast.Sub (a, b)
+        | "*" -> Ast.Mul (a, b)
+        | other -> fail lineno "unknown operator %s" other
+      in
+      stmt_of (check_ident t) rhs dist
+  | _ -> fail lineno "cannot parse statement"
+
+let program_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let size = ref None in
+  let stmts = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then
+        match tokens line with
+        | [ "size"; n ] -> (
+            if !size <> None then fail lineno "duplicate size directive";
+            match int_of_string_opt n with
+            | Some n when n >= 1 -> size := Some n
+            | _ -> fail lineno "bad size %s" n)
+        | toks ->
+            if !size = None then fail lineno "size directive must come first";
+            stmts := parse_stmt lineno toks :: !stmts)
+    lines;
+  match !size with
+  | None -> fail 0 "missing size directive"
+  | Some size -> Ast.program ~size (List.rev !stmts)
+
+let program_to_string (p : Ast.program) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "size %d\n" p.size);
+  List.iter
+    (fun (s : Ast.stmt) ->
+      let dist = match s.dist with Ast.Row -> "@row" | Ast.Col -> "@col" in
+      let body =
+        match s.rhs with
+        | Ast.Init -> Printf.sprintf "%s = init" s.target
+        | Ast.Add (a, b) -> Printf.sprintf "%s = %s + %s" s.target a b
+        | Ast.Sub (a, b) -> Printf.sprintf "%s = %s - %s" s.target a b
+        | Ast.Mul (a, b) -> Printf.sprintf "%s = %s * %s" s.target a b
+      in
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" body dist))
+    p.stmts;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Textual front end for {!Ast} programs.
+
+    Grammar (one item per line; blank lines and [#] comments ignored):
+
+    {v
+      size <n>
+      <ident> = init            [@row | @col]
+      <ident> = <ident> + <ident>   [@row | @col]
+      <ident> = <ident> - <ident>   [@row | @col]
+      <ident> = <ident> * <ident>   [@row | @col]
+    v}
+
+    The distribution annotation defaults to [@row]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val program_of_string : string -> Ast.program
+(** Raises [Parse_error] on malformed input and [Invalid_argument] if
+    the parsed program fails {!Ast.program} validation. *)
+
+val program_to_string : Ast.program -> string
+(** Round-trippable pretty printer. *)

@@ -1,0 +1,1 @@
+lib/kernels/complex_mm.mli: Mdg

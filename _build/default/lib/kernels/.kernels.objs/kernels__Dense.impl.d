@@ -1,0 +1,1 @@
+lib/kernels/dense.ml: Int64 List Numeric

@@ -1,0 +1,1 @@
+lib/kernels/example_mdg.ml: Mdg

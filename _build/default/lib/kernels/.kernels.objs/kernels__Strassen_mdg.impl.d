@@ -1,0 +1,1 @@
+lib/kernels/strassen_mdg.ml: Array Dense List Mdg Numeric Printf

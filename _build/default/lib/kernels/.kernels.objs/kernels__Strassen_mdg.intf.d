@@ -1,0 +1,1 @@
+lib/kernels/strassen_mdg.mli: Mdg

@@ -1,0 +1,1 @@
+lib/kernels/workloads.ml: Array Int64 Mdg Printf

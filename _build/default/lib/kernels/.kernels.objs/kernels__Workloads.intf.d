@@ -1,0 +1,1 @@
+lib/kernels/workloads.mli: Mdg

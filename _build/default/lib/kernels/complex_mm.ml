@@ -1,0 +1,80 @@
+module G = Mdg.Graph
+
+type node_ids = {
+  init_ar : int;
+  init_ai : int;
+  init_br : int;
+  init_bi : int;
+  mul_ac : int;
+  mul_bd : int;
+  mul_ad : int;
+  mul_bc : int;
+  add_re : int;
+  add_im : int;
+}
+
+let graph ?(n = 64) () =
+  if n < 1 then invalid_arg "Complex_mm.graph: n < 1";
+  let bytes = float_of_int (8 * n * n) in
+  let b = G.create_builder () in
+  let init label = G.add_node b ~label ~kernel:(Matrix_init n) in
+  let mul label = G.add_node b ~label ~kernel:(Matrix_multiply n) in
+  let add label = G.add_node b ~label ~kernel:(Matrix_add n) in
+  let init_ar = init "init Ar" in
+  let init_ai = init "init Ai" in
+  let init_br = init "init Br" in
+  let init_bi = init "init Bi" in
+  let mul_ac = mul "Ar*Br" in
+  let mul_bd = mul "Ai*Bi" in
+  let mul_ad = mul "Ar*Bi" in
+  let mul_bc = mul "Ai*Br" in
+  let add_re = add "Cr = ArBr - AiBi" in
+  let add_im = add "Ci = ArBi + AiBr" in
+  let edge src dst = G.add_edge b ~src ~dst ~bytes ~kind:Oned in
+  edge init_ar mul_ac;
+  edge init_ar mul_ad;
+  edge init_ai mul_bd;
+  edge init_ai mul_bc;
+  edge init_br mul_ac;
+  edge init_br mul_bc;
+  edge init_bi mul_bd;
+  edge init_bi mul_ad;
+  edge mul_ac add_re;
+  edge mul_bd add_re;
+  edge mul_ad add_im;
+  edge mul_bc add_im;
+  let g = G.normalise (G.build b) in
+  ( g,
+    {
+      init_ar;
+      init_ai;
+      init_br;
+      init_bi;
+      mul_ac;
+      mul_bd;
+      mul_ad;
+      mul_bc;
+      add_re;
+      add_im;
+    } )
+
+let kernels ~n = [ G.Matrix_init n; G.Matrix_add n; G.Matrix_multiply n ]
+
+let verify_numerics ~n ~seed =
+  let a =
+    {
+      Dense.re = Dense.random_matrix ~seed n;
+      im = Dense.random_matrix ~seed:(seed + 1) n;
+    }
+  in
+  let b =
+    {
+      Dense.re = Dense.random_matrix ~seed:(seed + 2) n;
+      im = Dense.random_matrix ~seed:(seed + 3) n;
+    }
+  in
+  let via_mdg = Dense.complex_matmul a b in
+  let direct = Dense.complex_matmul_direct a b in
+  let tol = 1e-9 *. float_of_int n in
+  Numeric.Mat.approx_equal ~eps:tol via_mdg.re direct.re
+  && Numeric.Mat.approx_equal ~eps:tol via_mdg.im direct.im

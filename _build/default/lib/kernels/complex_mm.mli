@@ -1,0 +1,32 @@
+(** MDG of the paper's first test program: complex matrix
+    multiplication, [(A+iB)(C+iD) = (AC - BD) + i(AD + BC)].
+
+    Structure (paper Figure 6, left): four initialisation loops, four
+    real N×N multiplies that can all run concurrently, and two real
+    additions combining them.  All transfers are 1D (the paper states
+    both test programs use only 1D transfers). *)
+
+type node_ids = {
+  init_ar : int;
+  init_ai : int;
+  init_br : int;
+  init_bi : int;
+  mul_ac : int;  (** A_re · B_re *)
+  mul_bd : int;  (** A_im · B_im *)
+  mul_ad : int;  (** A_re · B_im *)
+  mul_bc : int;  (** A_im · B_re *)
+  add_re : int;  (** C_re = AC - BD *)
+  add_im : int;  (** C_im = AD + BC *)
+}
+
+val graph : ?n:int -> unit -> Mdg.Graph.t * node_ids
+(** Normalised MDG for [n]×[n] complex matrix multiply (default 64,
+    the paper's size).  Raises [Invalid_argument] unless [n >= 1]. *)
+
+val kernels : n:int -> Mdg.Graph.kernel list
+(** The distinct matrix kernels appearing in the graph (for
+    calibration). *)
+
+val verify_numerics : n:int -> seed:int -> bool
+(** Check, on real data, that the 4-multiply/2-add decomposition the
+    MDG encodes equals direct complex multiplication. *)

@@ -1,0 +1,112 @@
+module Mat = Numeric.Mat
+
+let require_square name m =
+  if Mat.rows m <> Mat.cols m then invalid_arg (name ^ ": matrix not square")
+
+let quadrants m =
+  require_square "Dense.quadrants" m;
+  let n = Mat.rows m in
+  if n mod 2 <> 0 then invalid_arg "Dense.quadrants: odd size";
+  let h = n / 2 in
+  let sub ri ci = Mat.init h h (fun i j -> Mat.get m (ri + i) (ci + j)) in
+  (sub 0 0, sub 0 h, sub h 0, sub h h)
+
+let assemble a11 a12 a21 a22 =
+  let h = Mat.rows a11 in
+  List.iter
+    (fun m ->
+      if Mat.rows m <> h || Mat.cols m <> h then
+        invalid_arg "Dense.assemble: quadrant size mismatch")
+    [ a11; a12; a21; a22 ];
+  Mat.init (2 * h) (2 * h) (fun i j ->
+      match (i < h, j < h) with
+      | true, true -> Mat.get a11 i j
+      | true, false -> Mat.get a12 i (j - h)
+      | false, true -> Mat.get a21 (i - h) j
+      | false, false -> Mat.get a22 (i - h) (j - h))
+
+(* The seven Strassen products and their combination, parameterised by
+   the half-size multiply so that one-level and full recursion share the
+   formula. *)
+let strassen_step ~multiply a b =
+  let a11, a12, a21, a22 = quadrants a in
+  let b11, b12, b21, b22 = quadrants b in
+  let m1 = multiply (Mat.add a11 a22) (Mat.add b11 b22) in
+  let m2 = multiply (Mat.add a21 a22) b11 in
+  let m3 = multiply a11 (Mat.sub b12 b22) in
+  let m4 = multiply a22 (Mat.sub b21 b11) in
+  let m5 = multiply (Mat.add a11 a12) b22 in
+  let m6 = multiply (Mat.sub a21 a11) (Mat.add b11 b12) in
+  let m7 = multiply (Mat.sub a12 a22) (Mat.add b21 b22) in
+  let c11 = Mat.add (Mat.sub (Mat.add m1 m4) m5) m7 in
+  let c12 = Mat.add m3 m5 in
+  let c21 = Mat.add m2 m4 in
+  let c22 = Mat.add (Mat.add (Mat.sub m1 m2) m3) m6 in
+  assemble c11 c12 c21 c22
+
+let check_strassen_args name a b =
+  require_square name a;
+  require_square name b;
+  if Mat.rows a <> Mat.rows b then invalid_arg (name ^ ": size mismatch");
+  if not (Numeric.Pow2.is_pow2 (Mat.rows a)) then
+    invalid_arg (name ^ ": size not a power of two")
+
+let rec strassen ?(threshold = 32) a b =
+  check_strassen_args "Dense.strassen" a b;
+  if threshold < 1 then invalid_arg "Dense.strassen: threshold < 1";
+  if Mat.rows a <= threshold then Mat.matmul a b
+  else strassen_step ~multiply:(strassen ~threshold) a b
+
+let strassen_one_level a b =
+  check_strassen_args "Dense.strassen_one_level" a b;
+  if Mat.rows a < 2 then invalid_arg "Dense.strassen_one_level: size < 2";
+  strassen_step ~multiply:Mat.matmul a b
+
+type complex_matrix = { re : Mat.t; im : Mat.t }
+
+let complex_matmul a b =
+  let ac = Mat.matmul a.re b.re in
+  let bd = Mat.matmul a.im b.im in
+  let ad = Mat.matmul a.re b.im in
+  let bc = Mat.matmul a.im b.re in
+  { re = Mat.sub ac bd; im = Mat.add ad bc }
+
+let complex_matmul_direct a b =
+  let n = Mat.rows a.re in
+  let inner f i j =
+    let acc = ref 0.0 in
+    for k = 0 to Mat.cols a.re - 1 do
+      acc := !acc +. f k i j
+    done;
+    !acc
+  in
+  {
+    re =
+      Mat.init n (Mat.cols b.re)
+        (fun i j ->
+          inner
+            (fun k i j ->
+              (Mat.get a.re i k *. Mat.get b.re k j)
+              -. (Mat.get a.im i k *. Mat.get b.im k j))
+            i j);
+    im =
+      Mat.init n (Mat.cols b.re)
+        (fun i j ->
+          inner
+            (fun k i j ->
+              (Mat.get a.re i k *. Mat.get b.im k j)
+              +. (Mat.get a.im i k *. Mat.get b.re k j))
+            i j);
+  }
+
+(* Small deterministic LCG so tests do not depend on Stdlib.Random
+   state. *)
+let random_matrix ~seed n =
+  let state = ref (Int64.of_int (seed lxor 0x9E3779B9)) in
+  let next () =
+    state :=
+      Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
+    let bits = Int64.to_int (Int64.shift_right_logical !state 17) land 0xFFFFFF in
+    (float_of_int bits /. float_of_int 0x7FFFFF) -. 1.0
+  in
+  Mat.init n n (fun _ _ -> next ())

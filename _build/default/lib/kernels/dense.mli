@@ -1,0 +1,38 @@
+(** Dense matrix algorithms used by the paper's test programs.
+
+    These are real numerical implementations — not cost models — used
+    to (a) validate that the MDG decompositions in {!Complex_mm} and
+    {!Strassen_mdg} compute what they claim, and (b) derive operation
+    counts.  [Numeric.Mat] supplies the representation and the naive
+    O(n³) multiply. *)
+
+val strassen : ?threshold:int -> Numeric.Mat.t -> Numeric.Mat.t -> Numeric.Mat.t
+(** Strassen's algorithm (Press et al., Numerical Recipes).  Requires
+    square matrices of equal power-of-two size.  Recursion switches to
+    the naive multiply at [threshold] (default 32).
+    Raises [Invalid_argument] on non-square or non-power-of-two
+    inputs. *)
+
+val strassen_one_level : Numeric.Mat.t -> Numeric.Mat.t -> Numeric.Mat.t
+(** Exactly one level of Strassen recursion (the paper's test program):
+    7 half-size naive multiplies and 18 half-size additions. *)
+
+type complex_matrix = { re : Numeric.Mat.t; im : Numeric.Mat.t }
+
+val complex_matmul : complex_matrix -> complex_matrix -> complex_matrix
+(** Complex matrix product via 4 real multiplies and 2 real additions,
+    the decomposition of the paper's first test program:
+    [(A+iB)(C+iD) = (AC - BD) + i(AD + BC)]. *)
+
+val complex_matmul_direct : complex_matrix -> complex_matrix -> complex_matrix
+(** Reference implementation multiplying elementwise complex numbers. *)
+
+val random_matrix : seed:int -> int -> Numeric.Mat.t
+(** Deterministic pseudo-random n×n matrix with entries in [-1, 1]. *)
+
+val quadrants : Numeric.Mat.t -> Numeric.Mat.t * Numeric.Mat.t * Numeric.Mat.t * Numeric.Mat.t
+(** [(a11, a12, a21, a22)] of an even-sized square matrix. *)
+
+val assemble :
+  Numeric.Mat.t -> Numeric.Mat.t -> Numeric.Mat.t -> Numeric.Mat.t -> Numeric.Mat.t
+(** Inverse of {!quadrants}. *)

@@ -1,0 +1,43 @@
+module G = Mdg.Graph
+
+(* Amdahl parameters reverse-engineered from the paper's numbers:
+   with t(p) = (alpha + (1-alpha)/p)·tau,
+     t1(4) + t2(4) + t3(4)      = 15.6 s   (naive schedule)
+     t1(4) + max(t2(2), t3(2))  = 14.3 s   (mixed schedule)
+   using identical N2/N3.  Taking tau1 = 8, alpha1 = 0.1 gives
+   t1(4) = 2.6; then t2(2) = 11.7 and t2(4) = 6.5 pin down
+   alpha2 = 1.3/22.1, tau2 = 22.1. *)
+type amdahl = { alpha : float; tau : float }
+
+let p1 = { alpha = 0.1; tau = 8.0 }
+
+and p23 = { alpha = 1.3 /. 22.1; tau = 22.1 }
+
+let amdahl a p =
+  (a.alpha +. ((1.0 -. a.alpha) /. float_of_int p)) *. a.tau
+
+let build () =
+  let b = G.create_builder () in
+  let n1 = G.add_node b ~label:"N1" ~kernel:(Synthetic { alpha = p1.alpha; tau = p1.tau }) in
+  let n2 = G.add_node b ~label:"N2" ~kernel:(Synthetic { alpha = p23.alpha; tau = p23.tau }) in
+  let n3 = G.add_node b ~label:"N3" ~kernel:(Synthetic { alpha = p23.alpha; tau = p23.tau }) in
+  G.add_edge b ~src:n1 ~dst:n2 ~bytes:0.0 ~kind:Oned;
+  G.add_edge b ~src:n1 ~dst:n3 ~bytes:0.0 ~kind:Oned;
+  (G.normalise (G.build b), n1, n2, n3)
+
+let n1 = 0
+let n2 = 1
+let n3 = 2
+
+let graph () =
+  let g, _, _, _ = build () in
+  g
+
+let naive_finish_time ~procs =
+  if procs < 1 then invalid_arg "Example_mdg.naive_finish_time: procs < 1";
+  amdahl p1 procs +. (2.0 *. amdahl p23 procs)
+
+let mixed_finish_time ~procs =
+  if procs < 2 || procs mod 2 <> 0 then
+    invalid_arg "Example_mdg.mixed_finish_time: need an even processor count";
+  amdahl p1 procs +. amdahl p23 (procs / 2)

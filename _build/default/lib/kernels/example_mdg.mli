@@ -1,0 +1,24 @@
+(** The three-node motivating example of the paper's Figures 1–2.
+
+    Node N1 feeds N2 and N3; there are no data-transfer costs.  The
+    Amdahl parameters are chosen so that on a 4-processor system the
+    naive all-processors-sequential schedule finishes in 15.6 s while
+    the mixed schedule (N1 on 4, then N2 ∥ N3 on 2 each) finishes in
+    14.3 s — the numbers in the paper's text. *)
+
+val graph : unit -> Mdg.Graph.t
+(** Normalised MDG (START/STOP dummies included). *)
+
+val n1 : int
+val n2 : int
+val n3 : int
+(** Node ids of the three loops inside {!graph}. *)
+
+val naive_finish_time : procs:int -> float
+(** Execution time of the pure-data-parallel schedule: every node on
+    all [procs] processors, sequentially. *)
+
+val mixed_finish_time : procs:int -> float
+(** Execution time of the schedule that runs N1 on all processors then
+    N2 and N3 concurrently on half each.  Requires an even processor
+    count. *)

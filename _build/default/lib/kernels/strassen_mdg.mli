@@ -1,0 +1,50 @@
+(** MDG of the paper's second test program: one level of Strassen's
+    matrix multiplication on an N×N problem (paper: 128×128).
+
+    Structure (paper Figure 6, right): two initialisation loops for A
+    and B, ten half-size pre-additions forming the Strassen operand
+    sums, seven half-size multiplies M1..M7, and eight half-size
+    post-additions assembling C11, C12, C21, C22.  All transfers are
+    1D; edge byte counts equal the half-size operand(s) flowing along
+    the edge. *)
+
+type node_ids = {
+  init_a : int;
+  init_b : int;
+  pre_adds : int array;   (** 10 nodes: S1..S10 *)
+  muls : int array;       (** 7 nodes: M1..M7 *)
+  post_adds : int array;  (** 8 nodes, ending in C11, C12, C21, C22 *)
+}
+
+val graph : ?n:int -> unit -> Mdg.Graph.t * node_ids
+(** Normalised MDG for one-level Strassen on an [n]×[n] problem
+    (default 128, the paper's size).  [n] must be even and at least
+    2. *)
+
+val kernels : n:int -> Mdg.Graph.kernel list
+(** Distinct matrix kernels appearing in the graph: init at full size,
+    add and multiply at half size. *)
+
+val verify_numerics : n:int -> seed:int -> bool
+(** Check on real data that one-level Strassen equals the naive
+    product. *)
+
+(** {1 Multi-level recursion}
+
+    The paper evaluates one recursion level; fully recursive Strassen
+    is the natural extension and produces much larger MDGs (one level:
+    29 nodes; two levels: ~200), which exercise the allocator and
+    scheduler at scale. *)
+
+val graph_recursive : levels:int -> n:int -> Mdg.Graph.t
+(** Strassen's algorithm recursively expanded [levels] deep: every
+    multiply at level [l < levels] is replaced by the 10-pre-add /
+    7-multiply / 8-post-add sub-MDG on half-size blocks, with a
+    zero-cost assembly node collecting each sub-product's quadrants.
+    [graph_recursive ~levels:1 ~n] has the same shape as {!graph}.
+    Raises [Invalid_argument] unless [levels >= 1] and [n] is
+    divisible by [2^levels]. *)
+
+val kernels_recursive : levels:int -> n:int -> Mdg.Graph.kernel list
+(** All distinct kernels in the recursive graph: init at [n], adds at
+    [n/2, n/4, ...], multiplies at [n/2^levels]. *)

@@ -1,0 +1,120 @@
+module G = Mdg.Graph
+
+type shape = {
+  layers : int;
+  width : int;
+  edge_density : float;
+  tau_range : float * float;
+  alpha_range : float * float;
+  bytes_range : float * float;
+  twod_fraction : float;
+}
+
+let default_shape =
+  {
+    layers = 4;
+    width = 4;
+    edge_density = 0.4;
+    tau_range = (0.01, 1.0);
+    alpha_range = (0.02, 0.3);
+    bytes_range = (1024.0, 262144.0);
+    twod_fraction = 0.25;
+  }
+
+(* Deterministic splittable PRNG (same LCG as Dense.random_matrix). *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let make seed = { state = Int64.of_int (seed lxor 0x5DEECE66D) }
+
+  let next t =
+    t.state <-
+      Int64.add (Int64.mul t.state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_int (Int64.shift_right_logical t.state 17) land 0xFFFFFF
+
+  let float t = float_of_int (next t) /. float_of_int 0x1000000
+
+  let in_range t (lo, hi) = lo +. (float t *. (hi -. lo))
+
+  let int t n = if n <= 0 then 0 else next t mod n
+end
+
+let random_layered ~seed shape =
+  if shape.layers < 1 || shape.width < 1 then
+    invalid_arg "Workloads.random_layered: bad shape";
+  if shape.edge_density < 0.0 || shape.edge_density > 1.0 then
+    invalid_arg "Workloads.random_layered: edge_density outside [0,1]";
+  let rng = Rng.make seed in
+  let b = G.create_builder () in
+  let layers =
+    Array.init shape.layers (fun l ->
+        let count = 1 + Rng.int rng shape.width in
+        Array.init count (fun k ->
+            let alpha = Rng.in_range rng shape.alpha_range in
+            let tau = Rng.in_range rng shape.tau_range in
+            G.add_node b
+              ~label:(Printf.sprintf "L%d.%d" l k)
+              ~kernel:(Synthetic { alpha; tau })))
+  in
+  let kind () : G.transfer_kind =
+    if Rng.float rng < shape.twod_fraction then Twod else Oned
+  in
+  for l = 0 to shape.layers - 2 do
+    let cur = layers.(l) and nxt = layers.(l + 1) in
+    Array.iter
+      (fun dst ->
+        (* Guaranteed predecessor keeps the graph connected. *)
+        let forced = cur.(Rng.int rng (Array.length cur)) in
+        G.add_edge b ~src:forced ~dst
+          ~bytes:(Rng.in_range rng shape.bytes_range)
+          ~kind:(kind ());
+        Array.iter
+          (fun src ->
+            if src <> forced && Rng.float rng < shape.edge_density then
+              G.add_edge b ~src ~dst
+                ~bytes:(Rng.in_range rng shape.bytes_range)
+                ~kind:(kind ()))
+          cur)
+      nxt
+  done;
+  G.normalise (G.build b)
+
+let synthetic ~alpha ~tau : G.kernel = Synthetic { alpha; tau }
+
+let chain ~length ~tau ~alpha ~bytes =
+  if length < 1 then invalid_arg "Workloads.chain: length < 1";
+  let b = G.create_builder () in
+  let ids =
+    Array.init length (fun i ->
+        G.add_node b ~label:(Printf.sprintf "stage%d" i)
+          ~kernel:(synthetic ~alpha ~tau))
+  in
+  for i = 0 to length - 2 do
+    G.add_edge b ~src:ids.(i) ~dst:ids.(i + 1) ~bytes ~kind:Oned
+  done;
+  G.normalise (G.build b)
+
+let fork_join ~branches ~tau ~alpha ~bytes =
+  if branches < 1 then invalid_arg "Workloads.fork_join: branches < 1";
+  let b = G.create_builder () in
+  let fork = G.add_node b ~label:"fork" ~kernel:(synthetic ~alpha ~tau) in
+  let join = G.add_node b ~label:"join" ~kernel:(synthetic ~alpha ~tau) in
+  for k = 0 to branches - 1 do
+    let mid =
+      G.add_node b ~label:(Printf.sprintf "branch%d" k)
+        ~kernel:(synthetic ~alpha ~tau)
+    in
+    G.add_edge b ~src:fork ~dst:mid ~bytes ~kind:Oned;
+    G.add_edge b ~src:mid ~dst:join ~bytes ~kind:Oned
+  done;
+  G.normalise (G.build b)
+
+let fully_independent ~count ~tau ~alpha =
+  if count < 1 then invalid_arg "Workloads.fully_independent: count < 1";
+  let b = G.create_builder () in
+  for k = 0 to count - 1 do
+    ignore
+      (G.add_node b ~label:(Printf.sprintf "task%d" k)
+         ~kernel:(synthetic ~alpha ~tau))
+  done;
+  G.normalise (G.build b)

@@ -1,0 +1,32 @@
+(** Synthetic MDG generators for property tests and ablation studies.
+
+    All generators are deterministic in their [seed]. *)
+
+type shape = {
+  layers : int;          (** depth of the layered DAG *)
+  width : int;           (** max nodes per layer *)
+  edge_density : float;  (** probability of an edge between adjacent
+                             layers' node pairs, in [0,1] *)
+  tau_range : float * float;    (** serial times, seconds *)
+  alpha_range : float * float;  (** serial fractions *)
+  bytes_range : float * float;  (** transfer sizes *)
+  twod_fraction : float;        (** fraction of 2D transfers *)
+}
+
+val default_shape : shape
+
+val random_layered : seed:int -> shape -> Mdg.Graph.t
+(** Random layered DAG of [Synthetic] nodes, normalised, with every
+    node connected (no isolated nodes: each non-first-layer node gets
+    at least one predecessor in the previous layer). *)
+
+val chain : length:int -> tau:float -> alpha:float -> bytes:float -> Mdg.Graph.t
+(** A pure pipeline: no functional parallelism at all. *)
+
+val fork_join : branches:int -> tau:float -> alpha:float -> bytes:float -> Mdg.Graph.t
+(** One fork into [branches] identical independent loops and a join:
+    maximal functional parallelism. *)
+
+val fully_independent : count:int -> tau:float -> alpha:float -> Mdg.Graph.t
+(** [count] loops with no precedence constraints (normalisation adds
+    START/STOP). *)

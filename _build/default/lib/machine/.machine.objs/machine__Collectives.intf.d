@@ -1,0 +1,1 @@
+lib/machine/collectives.mli: Ground_truth Program

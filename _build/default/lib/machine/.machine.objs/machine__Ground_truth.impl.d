@@ -1,0 +1,1 @@
+lib/machine/ground_truth.ml: Costmodel Float Mdg Printf

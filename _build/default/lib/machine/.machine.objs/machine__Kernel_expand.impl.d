@@ -1,0 +1,1 @@
+lib/machine/kernel_expand.ml: Array Collectives Fun Ground_truth List Mdg Program Sim

@@ -1,0 +1,1 @@
+lib/machine/kernel_expand.mli: Collectives Ground_truth Mdg

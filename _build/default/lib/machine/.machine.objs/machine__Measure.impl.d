@@ -1,0 +1,1 @@
+lib/machine/measure.ml: Array Costmodel Float Fun Ground_truth Hashtbl List Mdg Numeric Option Transfer_plan

@@ -1,0 +1,1 @@
+lib/machine/measure.mli: Costmodel Ground_truth Mdg

@@ -1,0 +1,1 @@
+lib/machine/program.ml: Array Float Format List

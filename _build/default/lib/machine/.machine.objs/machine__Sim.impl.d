@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Array Event_queue Float Fun Ground_truth Hashtbl List Option Printf Program Queue String Topology

@@ -1,0 +1,1 @@
+lib/machine/trace_export.ml: Array Buffer List Printf Sim

@@ -1,0 +1,1 @@
+lib/machine/trace_export.mli: Sim

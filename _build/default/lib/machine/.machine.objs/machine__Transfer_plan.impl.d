@@ -1,0 +1,1 @@
+lib/machine/transfer_plan.ml: Array Float Hashtbl Int List Mdg Option

@@ -1,0 +1,1 @@
+lib/machine/transfer_plan.mli: Mdg

@@ -1,0 +1,124 @@
+type fragment = (int * Program.op list) list
+
+let check_procs name procs =
+  if Array.length procs = 0 then invalid_arg (name ^ ": empty processor set")
+
+let check_root name procs root_index =
+  if root_index < 0 || root_index >= Array.length procs then
+    invalid_arg (name ^ ": root index out of range")
+
+let check_bytes name bytes =
+  if bytes < 0.0 || not (Float.is_finite bytes) then
+    invalid_arg (name ^ ": bad byte count")
+
+let rounds_for m =
+  let rec go r reach = if reach >= m then r else go (r + 1) (reach * 2) in
+  go 0 1
+
+(* Work in "relative rank" space: the root is relative 0; [abs rel]
+   maps back to a physical processor. *)
+let relative procs root_index =
+  let m = Array.length procs in
+  fun rel -> procs.((rel + root_index) mod m)
+
+let broadcast ~edge_base ~procs ~root_index ~bytes =
+  check_procs "Collectives.broadcast" procs;
+  check_root "Collectives.broadcast" procs root_index;
+  check_bytes "Collectives.broadcast" bytes;
+  let m = Array.length procs in
+  let abs = relative procs root_index in
+  let ops = Array.make m [] in
+  (* Binomial tree: in round k, relative ranks < 2^k send to rank+2^k. *)
+  for k = 0 to rounds_for m - 1 do
+    let stride = 1 lsl k in
+    for src = 0 to Int.min (stride - 1) (m - 1) do
+      let dst = src + stride in
+      if dst < m then begin
+        let tag = edge_base + dst in
+        ops.(src) <-
+          Program.Send { edge = tag; dst_proc = abs dst; bytes } :: ops.(src);
+        ops.(dst) <-
+          Program.Recv { edge = tag; src_proc = abs src; bytes } :: ops.(dst)
+      end
+    done
+  done;
+  List.init m (fun rel -> (abs rel, List.rev ops.(rel)))
+
+let reduce ~edge_base ~procs ~root_index ~bytes ~combine_seconds =
+  check_procs "Collectives.reduce" procs;
+  check_root "Collectives.reduce" procs root_index;
+  check_bytes "Collectives.reduce" bytes;
+  if combine_seconds < 0.0 then
+    invalid_arg "Collectives.reduce: negative combine time";
+  let m = Array.length procs in
+  let abs = relative procs root_index in
+  let ops = Array.make m [] in
+  (* Mirror of the broadcast tree: in round k, relative ranks with
+     bit k set (and lower bits clear) send to rank - 2^k. *)
+  for k = 0 to rounds_for m - 1 do
+    let stride = 1 lsl k in
+    let period = 2 * stride in
+    let rec each src =
+      if src < m then begin
+        let dst = src - stride in
+        let tag = edge_base + src in
+        ops.(src) <-
+          Program.Send { edge = tag; dst_proc = abs dst; bytes } :: ops.(src);
+        ops.(dst) <-
+          Program.Compute { node = -1; seconds = combine_seconds }
+          :: Program.Recv { edge = tag; src_proc = abs src; bytes }
+          :: ops.(dst);
+        each (src + period)
+      end
+    in
+    each stride
+  done;
+  List.init m (fun rel -> (abs rel, List.rev ops.(rel)))
+
+let allgather ~edge_base ~procs ~bytes_per_proc =
+  check_procs "Collectives.allgather" procs;
+  check_bytes "Collectives.allgather" bytes_per_proc;
+  let m = Array.length procs in
+  let ops = Array.make m [] in
+  (* Ring: at step s every rank sends one chunk right and receives one
+     chunk from the left. *)
+  for s = 0 to m - 2 do
+    for rel = 0 to m - 1 do
+      let right = (rel + 1) mod m in
+      let left = (rel + m - 1) mod m in
+      let send_tag = edge_base + (s * m) + rel in
+      let recv_tag = edge_base + (s * m) + left in
+      ops.(rel) <-
+        Program.Recv
+          { edge = recv_tag; src_proc = procs.(left); bytes = bytes_per_proc }
+        :: Program.Send
+             { edge = send_tag; dst_proc = procs.(right); bytes = bytes_per_proc }
+        :: ops.(rel)
+    done
+  done;
+  List.init m (fun rel -> (procs.(rel), List.rev ops.(rel)))
+
+let tags_used kind ~procs =
+  match kind with
+  | `Broadcast | `Reduce -> procs
+  | `Allgather -> procs * Int.max 0 (procs - 1)
+
+let step_time gt ~bytes =
+  Ground_truth.send_busy gt ~bytes
+  +. Ground_truth.net_delay gt ~bytes
+  +. Ground_truth.recv_busy gt ~bytes
+
+let model_broadcast_time gt ~procs ~bytes =
+  if procs < 1 then invalid_arg "Collectives.model_broadcast_time: procs < 1";
+  let rounds = float_of_int (rounds_for procs) in
+  (* Two candidate critical paths: the receive chain down the tree, or
+     the root's serialised sends followed by one delivery. *)
+  Float.max
+    (rounds *. step_time gt ~bytes)
+    ((rounds *. Ground_truth.send_busy gt ~bytes)
+    +. Ground_truth.net_delay gt ~bytes
+    +. Ground_truth.recv_busy gt ~bytes)
+
+let model_allgather_time gt ~procs ~bytes_per_proc =
+  if procs < 1 then invalid_arg "Collectives.model_allgather_time: procs < 1";
+  float_of_int (procs - 1) *. step_time gt ~bytes:bytes_per_proc

@@ -1,0 +1,50 @@
+(** Collective-communication building blocks.
+
+    The CM-5 exposed hardware-assisted collectives; data-parallel loop
+    bodies (the insides of MDG nodes) are built from them.  This module
+    provides software collectives as {!Program} fragments — per-
+    processor op lists a code generator can splice into an MPMD
+    program — together with analytic time models used in tests.
+
+    Message tags: every collective consumes a contiguous range of edge
+    tags starting at [edge_base]; {!tags_used} reports how many, so
+    callers can allocate disjoint ranges. *)
+
+type fragment = (int * Program.op list) list
+(** Ops to append to each processor, in execution order. *)
+
+val broadcast :
+  edge_base:int -> procs:int array -> root_index:int -> bytes:float -> fragment
+(** Binomial-tree broadcast of a [bytes]-sized buffer from
+    [procs.(root_index)] to every processor in [procs].
+    Raises [Invalid_argument] on empty sets or bad indices. *)
+
+val reduce :
+  edge_base:int ->
+  procs:int array ->
+  root_index:int ->
+  bytes:float ->
+  combine_seconds:float ->
+  fragment
+(** Binomial-tree reduction to [procs.(root_index)]: each merge
+    receives [bytes] and then computes for [combine_seconds]. *)
+
+val allgather :
+  edge_base:int -> procs:int array -> bytes_per_proc:float -> fragment
+(** Ring allgather: after [p-1] steps every processor holds all
+    [p × bytes_per_proc] data. *)
+
+val tags_used :
+  [ `Broadcast | `Reduce | `Allgather ] -> procs:int -> int
+(** Upper bound on distinct edge tags consumed by a collective over
+    [procs] processors. *)
+
+val model_broadcast_time : Ground_truth.t -> procs:int -> bytes:float -> float
+(** Analytic binomial-tree time: [ceil(log2 p)] sequential rounds of
+    one send + one receive on the critical path. *)
+
+val model_allgather_time :
+  Ground_truth.t -> procs:int -> bytes_per_proc:float -> float
+(** Analytic ring time: [p-1] steps of send ∥ receive (the receive
+    side dominates each step's critical path together with the send
+    busy time). *)

@@ -1,0 +1,76 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;  (* heap.(0) unused when size = 0 *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q entry =
+  let cap = Array.length q.heap in
+  if q.size = cap then begin
+    let ncap = Int.max 16 (cap * 2) in
+    let heap = Array.make ncap entry in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
+
+let push q ~time payload =
+  if not (Float.is_finite time) || time < 0.0 then
+    invalid_arg "Event_queue.push: bad time";
+  let entry = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  (* Sift up. *)
+  let i = ref (q.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before q.heap.(!i) q.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let t = q.heap.(!i) in
+    q.heap.(!i) <- q.heap.(parent);
+    q.heap.(parent) <- t;
+    i := parent
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+        if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let t = q.heap.(!i) in
+          q.heap.(!i) <- q.heap.(!smallest);
+          q.heap.(!smallest) <- t;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time

@@ -1,0 +1,20 @@
+(** Binary-heap priority queue for discrete-event simulation.
+
+    Events are ordered by time; ties are broken by insertion sequence
+    so the simulation is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] on non-finite or negative times. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option

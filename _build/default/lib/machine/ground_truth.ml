@@ -1,0 +1,129 @@
+module G = Mdg.Graph
+
+type kernel_consts = {
+  per_op : float;  (* seconds per flop *)
+  alpha : float;   (* true serial fraction *)
+}
+
+type t = {
+  init_k : kernel_consts;
+  add_k : kernel_consts;
+  mul_k : kernel_consts;
+  (* Perturbations (zeroed on the ideal machine): *)
+  sync_frac : float;           (* fraction of tau spent per log2 level *)
+  cache_threshold : float;     (* per-processor bytes under which ... *)
+  cache_factor : float;        (* ... the work term is scaled by this *)
+  pkt_bytes : float;           (* packet size, bytes *)
+  pkt_cost : float;            (* extra sender cost per packet *)
+  wire_latency : float;        (* constant in-flight latency *)
+  (* First-order message constants: *)
+  t_ss : float;
+  t_ps : float;
+  t_sr : float;
+  t_pr : float;
+  t_n : float;
+}
+
+(* First-order constants are reverse-engineered from the paper's
+   Table 1: tau(add 64) = 3.73 ms over 4096 ops, tau(mul 64) = 298.47 ms
+   over 2*64^3 flops. *)
+let cm5_like () =
+  {
+    init_k = { per_op = 400e-9; alpha = 0.05 };
+    add_k = { per_op = 911e-9; alpha = 0.067 };
+    mul_k = { per_op = 569e-9; alpha = 0.121 };
+    sync_frac = 0.002;
+    cache_threshold = 16_384.0;
+    cache_factor = 0.97;
+    pkt_bytes = 4096.0;
+    pkt_cost = 8e-6;
+    wire_latency = 5e-6;
+    t_ss = 770e-6;
+    t_ps = 485e-9;
+    t_sr = 460e-6;
+    t_pr = 424e-9;
+    t_n = 0.0;
+  }
+
+let ideal () =
+  {
+    (cm5_like ()) with
+    sync_frac = 0.0;
+    cache_factor = 1.0;
+    pkt_cost = 0.0;
+    wire_latency = 0.0;
+    t_ss = Costmodel.Params.cm5_transfer.t_ss;
+    t_ps = Costmodel.Params.cm5_transfer.t_ps;
+    t_sr = Costmodel.Params.cm5_transfer.t_sr;
+    t_pr = Costmodel.Params.cm5_transfer.t_pr;
+    t_n = Costmodel.Params.cm5_transfer.t_n;
+  }
+
+let log2_levels procs =
+  if procs <= 1 then 0.0 else Float.ceil (Float.log2 (float_of_int procs))
+
+let amdahl ~alpha ~tau ~p = tau *. (alpha +. ((1.0 -. alpha) /. p))
+
+let kernel_time t kernel ~procs =
+  if procs < 1 then invalid_arg "Ground_truth.kernel_time: procs < 1";
+  let p = float_of_int procs in
+  match kernel with
+  | G.Dummy -> 0.0
+  | G.Synthetic { alpha; tau } ->
+      (* Synthetic loops are specification devices (Figure 1 example,
+         random test graphs): the machine realises them exactly. *)
+      amdahl ~alpha ~tau ~p
+  | G.Matrix_init _ | G.Matrix_add _ | G.Matrix_multiply _ ->
+      let consts =
+        match kernel with
+        | G.Matrix_init _ -> t.init_k
+        | G.Matrix_add _ -> t.add_k
+        | G.Matrix_multiply _ -> t.mul_k
+        | G.Synthetic _ | G.Dummy -> assert false
+      in
+      let tau = G.kernel_flops kernel *. consts.per_op in
+      let share_bytes = G.kernel_bytes kernel /. p in
+      let cache =
+        if share_bytes < t.cache_threshold then t.cache_factor else 1.0
+      in
+      let serial = consts.alpha *. tau in
+      let parallel = (1.0 -. consts.alpha) *. tau /. p *. cache in
+      let sync = t.sync_frac *. tau *. log2_levels procs in
+      serial +. parallel +. sync
+
+let kernel_serial_time t kernel = kernel_time t kernel ~procs:1
+
+let per_op_time t = function
+  | G.Matrix_init _ -> t.init_k.per_op
+  | G.Matrix_add _ -> t.add_k.per_op
+  | G.Matrix_multiply _ -> t.mul_k.per_op
+  | G.Synthetic _ | G.Dummy ->
+      invalid_arg "Ground_truth.per_op_time: kernel has no operation count"
+
+let check_bytes name bytes =
+  if bytes < 0.0 || not (Float.is_finite bytes) then
+    invalid_arg ("Ground_truth." ^ name ^ ": bad byte count")
+
+let send_busy t ~bytes =
+  check_bytes "send_busy" bytes;
+  let packets = if t.pkt_cost = 0.0 then 0.0 else Float.ceil (bytes /. t.pkt_bytes) in
+  t.t_ss +. (bytes *. t.t_ps) +. (packets *. t.pkt_cost)
+
+let recv_busy t ~bytes =
+  check_bytes "recv_busy" bytes;
+  t.t_sr +. (bytes *. t.t_pr)
+
+let net_delay t ~bytes =
+  check_bytes "net_delay" bytes;
+  t.wire_latency +. (bytes *. t.t_n)
+
+let describe t =
+  Printf.sprintf
+    "simulated multicomputer: init %.0f ns/op (a=%.3f), add %.0f ns/op \
+     (a=%.3f), mul %.0f ns/flop (a=%.3f); msg send %.0f us + %.0f ns/B, \
+     recv %.0f us + %.0f ns/B; sync %.2f%%/level, packets %.0f B @ %.0f us, \
+     wire %.0f us"
+    (t.init_k.per_op *. 1e9) t.init_k.alpha (t.add_k.per_op *. 1e9)
+    t.add_k.alpha (t.mul_k.per_op *. 1e9) t.mul_k.alpha (t.t_ss *. 1e6)
+    (t.t_ps *. 1e9) (t.t_sr *. 1e6) (t.t_pr *. 1e9) (t.sync_frac *. 100.0)
+    t.pkt_bytes (t.pkt_cost *. 1e6) (t.wire_latency *. 1e6)

@@ -1,0 +1,59 @@
+(** "True" machine characteristics for the simulated multicomputer.
+
+    The paper measured its costs on a real 64-node CM-5; with no CM-5
+    available, this module plays the role of the physical machine.  It
+    is deliberately *not* identical to the posynomial cost models of
+    [Costmodel] — it layers deterministic second-order effects on top
+    of them (tree-synchronisation overhead that grows with log p,
+    per-packet costs, a cache bonus when a processor's share of the
+    data fits in cache) so that the training-sets fit in the
+    experiments is approximate, as it is in the paper's Figures 3/5/9,
+    rather than tautological.
+
+    First-order constants are the paper's own published CM-5 numbers
+    (Tables 1 and 2), so fitted parameters land close to the paper's. *)
+
+type t
+
+val cm5_like : unit -> t
+(** The default machine used in all experiments. *)
+
+val ideal : unit -> t
+(** A machine with the perturbations switched off: the cost models are
+    exact on it.  Used in tests to validate fitting machinery. *)
+
+(** {1 Kernel timing} *)
+
+val kernel_time : t -> Mdg.Graph.kernel -> procs:int -> float
+(** Wall-clock seconds for one execution of [kernel] spread over
+    [procs] processors (including intra-kernel communication, which is
+    what the paper's α captures).  Raises [Invalid_argument] if
+    [procs < 1]. *)
+
+val kernel_serial_time : t -> Mdg.Graph.kernel -> float
+(** [kernel_time t k ~procs:1]. *)
+
+val per_op_time : t -> Mdg.Graph.kernel -> float
+(** Seconds per elementary operation (flop for multiplies, element
+    op for adds/initialises) of the kernel's compute phase — the raw
+    rate a data-parallel expansion of the kernel computes at.
+    Raises [Invalid_argument] for [Synthetic]/[Dummy] kernels, which
+    have no operation count. *)
+
+(** {1 Message timing} *)
+
+val send_busy : t -> bytes:float -> float
+(** Seconds the sending processor is busy injecting one message. *)
+
+val recv_busy : t -> bytes:float -> float
+(** Seconds the receiving processor is busy draining one message
+    (includes the CM-5-style network-time-billed-to-receiver effect). *)
+
+val net_delay : t -> bytes:float -> float
+(** In-flight latency between send completion and availability at the
+    receiver. *)
+
+(** {1 Introspection} *)
+
+val describe : t -> string
+(** Human-readable summary of the machine's true constants. *)

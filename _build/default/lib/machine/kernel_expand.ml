@@ -1,0 +1,40 @@
+module G = Mdg.Graph
+
+let compute ~node seconds =
+  if seconds > 0.0 then [ Program.Compute { node; seconds } ] else []
+
+let expand gt kernel ~procs ~node ~edge_base =
+  if Array.length procs = 0 then invalid_arg "Kernel_expand.expand: empty set";
+  let k = Array.length procs in
+  let share flops = flops /. float_of_int k *. Ground_truth.per_op_time gt kernel in
+  match kernel with
+  | G.Dummy -> List.init k (fun i -> (procs.(i), []))
+  | G.Synthetic _ ->
+      (* No internal structure to expand: aggregate time on each
+         processor. *)
+      let t = Ground_truth.kernel_time gt kernel ~procs:k in
+      List.init k (fun i -> (procs.(i), compute ~node t))
+  | G.Matrix_init _ | G.Matrix_add _ ->
+      (* Perfectly aligned elementwise loops: pure local compute. *)
+      let t = share (G.kernel_flops kernel) in
+      List.init k (fun i -> (procs.(i), compute ~node t))
+  | G.Matrix_multiply _ ->
+      (* Row-block C = A·B: every processor owns row blocks of A and B
+         but needs all of B — ring allgather, then local dgemm. *)
+      let bytes_per_proc = G.kernel_bytes kernel /. float_of_int k in
+      let gather = Collectives.allgather ~edge_base ~procs ~bytes_per_proc in
+      let t = share (G.kernel_flops kernel) in
+      List.map (fun (p, ops) -> (p, ops @ compute ~node t)) gather
+
+let tags_used kernel ~procs =
+  match kernel with
+  | G.Matrix_multiply _ -> Collectives.tags_used `Allgather ~procs
+  | G.Matrix_init _ | G.Matrix_add _ | G.Synthetic _ | G.Dummy -> 0
+
+let simulated_time gt kernel ~procs =
+  if procs < 1 then invalid_arg "Kernel_expand.simulated_time: procs < 1";
+  let procs_arr = Array.init procs Fun.id in
+  let frag = expand gt kernel ~procs:procs_arr ~node:0 ~edge_base:0 in
+  let code = Array.make procs [] in
+  List.iter (fun (p, ops) -> code.(p) <- code.(p) @ ops) frag;
+  (Sim.run gt (Program.make ~procs code)).finish_time

@@ -1,0 +1,36 @@
+(** Explicit data-parallel expansion of kernel nodes.
+
+    The cost models (and {!Ground_truth.kernel_time}) treat a loop nest
+    on k processors as one aggregate number with an Amdahl shape.  This
+    module provides the alternative a real HPF-style compiler would
+    emit: each processor computes its block of the iteration space and
+    the operands it lacks are fetched with explicit collectives
+    (matrix multiply needs the full second operand → ring allgather;
+    addition and initialisation are perfectly aligned → no
+    communication).
+
+    Running the expansion on the simulator and comparing with the
+    aggregate model (bench target [expand]) quantifies how faithful
+    the Amdahl abstraction is to executable data-parallel code. *)
+
+val expand :
+  Ground_truth.t ->
+  Mdg.Graph.kernel ->
+  procs:int array ->
+  node:int ->
+  edge_base:int ->
+  Collectives.fragment
+(** Per-processor ops realising one execution of [kernel] over the
+    given processor set.  [node] labels the compute ops; message tags
+    start at [edge_base].  [Synthetic] kernels fall back to the
+    aggregate time (they have no internal structure); [Dummy] expands
+    to nothing.  Raises [Invalid_argument] on an empty processor
+    set. *)
+
+val tags_used : Mdg.Graph.kernel -> procs:int -> int
+(** Tag-range budget for {!expand}. *)
+
+val simulated_time :
+  Ground_truth.t -> Mdg.Graph.kernel -> procs:int -> float
+(** Wall-clock time of the expansion executed on the simulator with
+    processors [0..procs-1]. *)

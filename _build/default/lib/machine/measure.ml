@@ -1,0 +1,74 @@
+module G = Mdg.Graph
+
+let measure_kernel gt kernel ~procs = Ground_truth.kernel_time gt kernel ~procs
+
+let kernel_sweep gt kernel ~procs =
+  List.map (fun p -> (p, measure_kernel gt kernel ~procs:p)) procs
+
+let measure_transfer gt ~kind ~p_send ~p_recv ~bytes =
+  if p_send < 1 || p_recv < 1 then
+    invalid_arg "Measure.measure_transfer: processor count < 1";
+  (* Disjoint processor sets so that no message degenerates into a local
+     copy: the microbenchmark isolates genuine communication. *)
+  let senders = Array.init p_send Fun.id in
+  let receivers = Array.init p_recv (fun r -> p_send + r) in
+  let msgs = Transfer_plan.messages ~kind ~bytes ~senders ~receivers in
+  let send_busy = Hashtbl.create 16 and recv_busy = Hashtbl.create 16 in
+  let bump tbl k v =
+    Hashtbl.replace tbl k (v +. Option.value (Hashtbl.find_opt tbl k) ~default:0.0)
+  in
+  let net = ref 0.0 in
+  List.iter
+    (fun (m : Transfer_plan.message) ->
+      bump send_busy m.src_proc (Ground_truth.send_busy gt ~bytes:m.bytes);
+      bump recv_busy m.dst_proc (Ground_truth.recv_busy gt ~bytes:m.bytes);
+      net := Float.max !net (Ground_truth.net_delay gt ~bytes:m.bytes))
+    msgs;
+  let table_max tbl = Hashtbl.fold (fun _ v acc -> Float.max v acc) tbl 0.0 in
+  {
+    Costmodel.Transfer.send = table_max send_busy;
+    network = !net;
+    receive = table_max recv_busy;
+  }
+
+let transfer_sweep gt ~kinds ~proc_pairs ~sizes =
+  List.concat_map
+    (fun kind ->
+      List.concat_map
+        (fun (p_send, p_recv) ->
+          List.map
+            (fun bytes ->
+              {
+                Costmodel.Fit.kind;
+                p_send;
+                p_recv;
+                bytes;
+                measured = measure_transfer gt ~kind ~p_send ~p_recv ~bytes;
+              })
+            sizes)
+        proc_pairs)
+    kinds
+
+let default_proc_pairs p =
+  let pows = Numeric.Pow2.pow2_range p in
+  List.concat_map (fun a -> List.map (fun b -> (a, b)) pows) pows
+
+let default_sizes = [ 8192.0; 32768.0; 65536.0; 131072.0; 262144.0; 524288.0 ]
+
+let calibrate gt ~procs kernels =
+  let tf =
+    Costmodel.Fit.fit_transfer
+      (transfer_sweep gt ~kinds:[ G.Oned; G.Twod ]
+         ~proc_pairs:(default_proc_pairs 32) ~sizes:default_sizes)
+  in
+  let params = Costmodel.Params.make ~transfer:tf.params in
+  let qualities =
+    List.map
+      (fun kernel ->
+        let samples = kernel_sweep gt kernel ~procs in
+        let proc, quality = Costmodel.Fit.fit_processing samples in
+        Costmodel.Params.set_processing params kernel proc;
+        (kernel, quality))
+      (List.sort_uniq compare kernels)
+  in
+  (params, qualities, tf)

@@ -1,0 +1,49 @@
+(** Training-set measurement harness (paper Section 4).
+
+    Runs microbenchmarks against the simulated machine and returns the
+    raw samples that [Costmodel.Fit] regresses into Table 1 / Table 2
+    parameters.  Processing measurements time an isolated kernel;
+    transfer measurements expand a redistribution into its message plan
+    over disjoint sender/receiver processor sets and report the three
+    cost components the way the paper attributes them: processor time
+    on the send side, processor time on the receive side, and residual
+    in-flight network time. *)
+
+val measure_kernel : Ground_truth.t -> Mdg.Graph.kernel -> procs:int -> float
+(** Wall-clock seconds for the kernel on [procs] processors. *)
+
+val kernel_sweep :
+  Ground_truth.t -> Mdg.Graph.kernel -> procs:int list -> (int * float) list
+(** Samples for {!Costmodel.Fit.fit_processing}. *)
+
+val measure_transfer :
+  Ground_truth.t ->
+  kind:Mdg.Graph.transfer_kind ->
+  p_send:int ->
+  p_recv:int ->
+  bytes:float ->
+  Costmodel.Transfer.components
+(** Measured components of one redistribution. *)
+
+val transfer_sweep :
+  Ground_truth.t ->
+  kinds:Mdg.Graph.transfer_kind list ->
+  proc_pairs:(int * int) list ->
+  sizes:float list ->
+  Costmodel.Fit.transfer_sample list
+(** Cartesian sweep producing samples for
+    {!Costmodel.Fit.fit_transfer}. *)
+
+val default_proc_pairs : int -> (int * int) list
+(** Power-of-two (sender, receiver) count pairs up to [p] used by the
+    experiments. *)
+
+val default_sizes : float list
+(** Array sizes (bytes) used by the experiments: 8 KiB – 512 KiB. *)
+
+val calibrate : Ground_truth.t -> procs:int list -> Mdg.Graph.kernel list ->
+  Costmodel.Params.t * (Mdg.Graph.kernel * Costmodel.Fit.quality) list *
+  Costmodel.Fit.transfer_fit
+(** Full training-sets calibration: fit transfer parameters from the
+    default sweep and processing parameters for every listed matrix
+    kernel, returning a ready-to-use parameter set plus fit quality. *)

@@ -1,0 +1,65 @@
+type op =
+  | Compute of { node : int; seconds : float }
+  | Send of { edge : int; dst_proc : int; bytes : float }
+  | Recv of { edge : int; src_proc : int; bytes : float }
+
+type t = { procs : int; code : op list array }
+
+let validate_op ~procs op =
+  match op with
+  | Compute { seconds; _ } ->
+      if seconds < 0.0 || not (Float.is_finite seconds) then
+        invalid_arg "Program.make: negative compute duration"
+  | Send { dst_proc; bytes; _ } ->
+      if dst_proc < 0 || dst_proc >= procs then
+        invalid_arg "Program.make: Send names a processor outside the machine";
+      if bytes < 0.0 || not (Float.is_finite bytes) then
+        invalid_arg "Program.make: negative message size"
+  | Recv { src_proc; bytes; _ } ->
+      if src_proc < 0 || src_proc >= procs then
+        invalid_arg "Program.make: Recv names a processor outside the machine";
+      if bytes < 0.0 || not (Float.is_finite bytes) then
+        invalid_arg "Program.make: negative message size"
+
+let make ~procs code =
+  if procs < 1 then invalid_arg "Program.make: procs < 1";
+  if Array.length code <> procs then
+    invalid_arg "Program.make: code length does not match procs";
+  Array.iter (List.iter (validate_op ~procs)) code;
+  { procs; code }
+
+let procs t = t.procs
+
+let code t p =
+  if p < 0 || p >= t.procs then invalid_arg "Program.code: bad processor";
+  t.code.(p)
+
+let num_ops t = Array.fold_left (fun acc ops -> acc + List.length ops) 0 t.code
+
+let collect pred t =
+  let acc = ref [] in
+  Array.iteri
+    (fun p ops -> List.iter (fun op -> if pred op then acc := (p, op) :: !acc) ops)
+    t.code;
+  List.rev !acc
+
+let sends t = collect (function Send _ -> true | Compute _ | Recv _ -> false) t
+
+let recvs t = collect (function Recv _ -> true | Compute _ | Send _ -> false) t
+
+let pp_op fmt = function
+  | Compute { node; seconds } ->
+      Format.fprintf fmt "compute node=%d %.3f ms" node (seconds *. 1e3)
+  | Send { edge; dst_proc; bytes } ->
+      Format.fprintf fmt "send edge=%d -> P%d (%g B)" edge dst_proc bytes
+  | Recv { edge; src_proc; bytes } ->
+      Format.fprintf fmt "recv edge=%d <- P%d (%g B)" edge src_proc bytes
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>MPMD program on %d processors@," t.procs;
+  Array.iteri
+    (fun p ops ->
+      Format.fprintf fmt "P%d:@," p;
+      List.iter (fun op -> Format.fprintf fmt "  %a@," pp_op op) ops)
+    t.code;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,39 @@
+(** MPMD programs: per-processor operation sequences.
+
+    This is the executable form of a schedule — what the paper's step 5
+    (Section 1.2) calls "an executable program for each processor".
+    Programs are built by [Core.Codegen] from a schedule, or by hand in
+    tests, and executed by {!Sim}. *)
+
+type op =
+  | Compute of { node : int; seconds : float }
+      (** Keep this processor busy for [seconds] on behalf of MDG node
+          [node] (intra-node communication time is folded in). *)
+  | Send of { edge : int; dst_proc : int; bytes : float }
+      (** Inject one message on behalf of MDG edge [edge]. *)
+  | Recv of { edge : int; src_proc : int; bytes : float }
+      (** Block until the matching message arrives, then spend the
+          receive-processing time. *)
+
+type t
+
+val make : procs:int -> op list array -> t
+(** [make ~procs code] builds a program for a [procs]-processor
+    machine; [code] must have length [procs].  Validates that every
+    [Send]/[Recv] names a processor inside the machine and that
+    durations/sizes are non-negative. *)
+
+val procs : t -> int
+
+val code : t -> int -> op list
+
+val num_ops : t -> int
+
+val sends : t -> (int * op) list
+(** All [Send] ops paired with their processor, in program order. *)
+
+val recvs : t -> (int * op) list
+
+val pp_op : Format.formatter -> op -> unit
+
+val pp : Format.formatter -> t -> unit

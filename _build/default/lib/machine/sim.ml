@@ -1,0 +1,184 @@
+exception Deadlock of string
+
+type activity =
+  | Busy_compute of int
+  | Busy_send of int
+  | Busy_recv of int
+  | Waiting of int
+
+type segment = {
+  proc : int;
+  start : float;
+  finish : float;
+  activity : activity;
+}
+
+type result = {
+  finish_time : float;
+  proc_finish : float array;
+  busy : float array;
+  segments : segment list;
+  messages_delivered : int;
+}
+
+type event =
+  | Advance of int  (* processor becomes free and looks at its next op *)
+  | Deliver of { dst : int; edge : int; src : int; bytes : float }
+
+(* Key identifying a message stream between two processors on one MDG
+   edge. *)
+type key = { k_dst : int; k_edge : int; k_src : int }
+
+let local_copy_per_byte = 0.5e-9
+
+let run ?topology gt program =
+  Option.iter Topology.reset topology;
+  let n = Program.procs program in
+  let code = Array.init n (fun p -> Array.of_list (Program.code program p)) in
+  let pc = Array.make n 0 in
+  let parked : (key, float) Hashtbl.t = Hashtbl.create 64 in
+  (* parked maps the key a processor is blocked on to its park time;
+     the processor id is inside the key (k_dst). *)
+  let mailbox : (key, float Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let q : event Event_queue.t = Event_queue.create () in
+  let segments = ref [] in
+  let busy = Array.make n 0.0 in
+  let proc_finish = Array.make n 0.0 in
+  let delivered = ref 0 in
+  let record proc start finish activity =
+    if finish > start then begin
+      segments := { proc; start; finish; activity } :: !segments;
+      (match activity with
+      | Busy_compute _ | Busy_send _ | Busy_recv _ ->
+          busy.(proc) <- busy.(proc) +. (finish -. start)
+      | Waiting _ -> ())
+    end
+  in
+  let send_cost ~self ~dst ~bytes ~now =
+    if self = dst then (bytes *. local_copy_per_byte, 0.0)
+    else
+      let busy = Ground_truth.send_busy gt ~bytes in
+      let extra =
+        match topology with
+        | None -> 0.0
+        | Some topo ->
+            (* The message enters the network when the send completes. *)
+            Topology.message_delay topo ~src:self ~dst ~bytes ~now:(now +. busy)
+      in
+      (busy, Ground_truth.net_delay gt ~bytes +. extra)
+  in
+  let recv_cost ~self ~src ~bytes =
+    if self = src then bytes *. local_copy_per_byte
+    else Ground_truth.recv_busy gt ~bytes
+  in
+  let start_recv p t park_time (op_edge : int) src bytes =
+    record p park_time t (Waiting op_edge);
+    let cost = recv_cost ~self:p ~src ~bytes in
+    record p t (t +. cost) (Busy_recv op_edge);
+    pc.(p) <- pc.(p) + 1;
+    Event_queue.push q ~time:(t +. cost) (Advance p)
+  in
+  let advance p t =
+    if pc.(p) >= Array.length code.(p) then proc_finish.(p) <- t
+    else
+      match code.(p).(pc.(p)) with
+      | Program.Compute { node; seconds } ->
+          record p t (t +. seconds) (Busy_compute node);
+          pc.(p) <- pc.(p) + 1;
+          Event_queue.push q ~time:(t +. seconds) (Advance p)
+      | Program.Send { edge; dst_proc; bytes } ->
+          let busy_time, delay = send_cost ~self:p ~dst:dst_proc ~bytes ~now:t in
+          record p t (t +. busy_time) (Busy_send edge);
+          Event_queue.push q
+            ~time:(t +. busy_time +. delay)
+            (Deliver { dst = dst_proc; edge; src = p; bytes });
+          pc.(p) <- pc.(p) + 1;
+          Event_queue.push q ~time:(t +. busy_time) (Advance p)
+      | Program.Recv { edge; src_proc; bytes = _ } -> (
+          let key = { k_dst = p; k_edge = edge; k_src = src_proc } in
+          match Hashtbl.find_opt mailbox key with
+          | Some box when not (Queue.is_empty box) ->
+              let bytes = Queue.pop box in
+              start_recv p t t edge src_proc bytes
+          | _ ->
+              if Hashtbl.mem parked key then
+                raise
+                  (Deadlock
+                     (Printf.sprintf
+                        "processor %d issued two concurrent recvs on edge %d \
+                         from %d"
+                        p edge src_proc));
+              Hashtbl.replace parked key t)
+  in
+  for p = 0 to n - 1 do
+    Event_queue.push q ~time:0.0 (Advance p)
+  done;
+  let rec loop () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (t, Advance p) ->
+        advance p t;
+        loop ()
+    | Some (t, Deliver { dst; edge; src; bytes }) ->
+        incr delivered;
+        let key = { k_dst = dst; k_edge = edge; k_src = src } in
+        (match Hashtbl.find_opt parked key with
+        | Some park_time ->
+            Hashtbl.remove parked key;
+            start_recv dst t park_time edge src bytes
+        | None ->
+            let box =
+              match Hashtbl.find_opt mailbox key with
+              | Some box -> box
+              | None ->
+                  let box = Queue.create () in
+                  Hashtbl.replace mailbox key box;
+                  box
+            in
+            Queue.push bytes box);
+        loop ()
+  in
+  loop ();
+  let stuck =
+    List.filter_map
+      (fun p -> if pc.(p) < Array.length code.(p) then Some p else None)
+      (List.init n Fun.id)
+  in
+  if stuck <> [] then
+    raise
+      (Deadlock
+         (Printf.sprintf "processors %s blocked in Recv with no matching Send"
+            (String.concat ", " (List.map string_of_int stuck))));
+  let finish_time = Array.fold_left Float.max 0.0 proc_finish in
+  {
+    finish_time;
+    proc_finish;
+    busy;
+    segments =
+      List.sort
+        (fun a b -> compare (a.start, a.proc) (b.start, b.proc))
+        !segments;
+    messages_delivered = !delivered;
+  }
+
+let utilisation r =
+  if r.finish_time <= 0.0 then 1.0
+  else
+    let n = Array.length r.busy in
+    Array.fold_left ( +. ) 0.0 r.busy /. (float_of_int n *. r.finish_time)
+
+let node_spans r =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      match s.activity with
+      | Busy_compute node ->
+          let lo, hi =
+            Option.value (Hashtbl.find_opt tbl node)
+              ~default:(Float.infinity, Float.neg_infinity)
+          in
+          Hashtbl.replace tbl node (Float.min lo s.start, Float.max hi s.finish)
+      | Busy_send _ | Busy_recv _ | Waiting _ -> ())
+    r.segments;
+  Hashtbl.fold (fun node span acc -> (node, span) :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,85 @@
+type kind =
+  | Uniform of { latency : float }
+  | Fat_tree of {
+      arity : int;
+      levels : int;          (* tree height above the leaves *)
+      hop_latency : float;
+      root_bytes_per_sec : float;
+      mutable root_free : float;  (* when the root bisection is next idle *)
+    }
+  | Mesh2d of { width : int; hop_latency : float }
+
+type t = kind ref
+
+let uniform ?(latency = 0.0) () =
+  if latency < 0.0 then invalid_arg "Topology.uniform: negative latency";
+  ref (Uniform { latency })
+
+let fat_tree ?(arity = 4) ?(hop_latency = 0.5e-6) ?(root_bytes_per_sec = 2.5e8)
+    ~procs () =
+  if arity < 2 then invalid_arg "Topology.fat_tree: arity < 2";
+  if procs < 1 then invalid_arg "Topology.fat_tree: procs < 1";
+  if hop_latency < 0.0 || root_bytes_per_sec <= 0.0 then
+    invalid_arg "Topology.fat_tree: bad constants";
+  let levels =
+    let rec go levels reach = if reach >= procs then levels else go (levels + 1) (reach * arity) in
+    go 0 1
+  in
+  ref (Fat_tree { arity; levels; hop_latency; root_bytes_per_sec; root_free = 0.0 })
+
+let mesh2d ?(hop_latency = 0.5e-6) ~procs () =
+  if procs < 1 then invalid_arg "Topology.mesh2d: procs < 1";
+  if hop_latency < 0.0 then invalid_arg "Topology.mesh2d: negative latency";
+  let width = int_of_float (Float.ceil (sqrt (float_of_int procs))) in
+  ref (Mesh2d { width; hop_latency })
+
+(* Level of the lowest common ancestor in an arity-a tree: smallest l
+   with src / a^l = dst / a^l. *)
+let lca_level ~arity src dst =
+  let rec go l s d = if s = d then l else go (l + 1) (s / arity) (d / arity) in
+  go 0 src dst
+
+let hops t ~src ~dst =
+  if src < 0 || dst < 0 then invalid_arg "Topology.hops: negative processor id";
+  if src = dst then 0
+  else
+    match !t with
+    | Uniform _ -> 0
+    | Fat_tree { arity; _ } -> 2 * lca_level ~arity src dst
+    | Mesh2d { width; _ } ->
+        abs ((src mod width) - (dst mod width))
+        + abs ((src / width) - (dst / width))
+
+let message_delay t ~src ~dst ~bytes ~now =
+  if bytes < 0.0 then invalid_arg "Topology.message_delay: negative bytes";
+  if src = dst then 0.0
+  else
+    match !t with
+    | Uniform { latency } -> latency
+    | Mesh2d { hop_latency; _ } ->
+        float_of_int (hops t ~src ~dst) *. hop_latency
+    | Fat_tree ({ arity; levels; hop_latency; root_bytes_per_sec; _ } as ft) ->
+        let base = float_of_int (hops t ~src ~dst) *. hop_latency in
+        if lca_level ~arity src dst >= levels && levels > 0 then begin
+          (* Root-crossing: serialise on the bisection. *)
+          let transit = bytes /. root_bytes_per_sec in
+          let start = Float.max now ft.root_free in
+          ft.root_free <- start +. transit;
+          base +. (start -. now) +. transit
+        end
+        else base
+
+let reset t =
+  match !t with
+  | Fat_tree ft -> ft.root_free <- 0.0
+  | Uniform _ | Mesh2d _ -> ()
+
+let describe t =
+  match !t with
+  | Uniform { latency } -> Printf.sprintf "uniform network (%.2f us)" (latency *. 1e6)
+  | Fat_tree { arity; levels; hop_latency; root_bytes_per_sec; _ } ->
+      Printf.sprintf
+        "fat tree: arity %d, %d levels, %.2f us/hop, root bisection %.0f MB/s"
+        arity levels (hop_latency *. 1e6) (root_bytes_per_sec /. 1e6)
+  | Mesh2d { width; hop_latency } ->
+      Printf.sprintf "2D mesh: width %d, %.2f us/hop" width (hop_latency *. 1e6)

@@ -1,0 +1,49 @@
+(** Interconnect topologies.
+
+    The paper's transfer model assumes "network costs are the same for
+    all processor pairs", noting this "is valid for most of the current
+    machines".  This module makes that assumption testable: it models
+    distance-dependent latency and root-level bandwidth contention for
+    a CM-5-style fat tree and a 2-D mesh, next to the paper's uniform
+    network.  {!Sim.run}'s [?topology] argument injects the extra
+    delays; the [topology] bench experiment quantifies how much the
+    uniform assumption costs on each. *)
+
+type t
+
+val uniform : ?latency:float -> unit -> t
+(** The paper's model: every pair is [latency] apart (default 0). *)
+
+val fat_tree :
+  ?arity:int ->
+  ?hop_latency:float ->
+  ?root_bytes_per_sec:float ->
+  procs:int ->
+  unit ->
+  t
+(** CM-5-style fat tree over [procs] leaves with the given [arity]
+    (default 4, the CM-5's).  A message pays [hop_latency] (default
+    0.5 µs) per switch hop up to and down from the lowest common
+    ancestor.  Messages whose route crosses the tree root additionally
+    share the root bisection bandwidth [root_bytes_per_sec] (default
+    [2.5e8]); this is the contention term. *)
+
+val mesh2d : ?hop_latency:float -> procs:int -> unit -> t
+(** Square(ish) 2-D mesh with dimension-ordered routing and
+    [hop_latency] (default 0.5 µs) per hop.  No contention model. *)
+
+val hops : t -> src:int -> dst:int -> int
+(** Number of switch hops between two processors (0 for [src = dst]
+    and on the uniform network). *)
+
+val message_delay : t -> src:int -> dst:int -> bytes:float -> now:float -> float
+(** Extra in-flight delay for a message injected at time [now],
+    *beyond* the machine's base network delay.  Stateful for
+    contended topologies: root-crossing messages queue on the shared
+    bisection, so calls must be made in nondecreasing [now] order per
+    simulation run (the simulator guarantees this). *)
+
+val reset : t -> unit
+(** Clear contention state between simulation runs. *)
+
+val describe : t -> string

@@ -1,0 +1,12 @@
+(** Export simulation traces to the Chrome trace-event JSON format, so
+    executions can be inspected in [chrome://tracing] / Perfetto.
+
+    Each processor becomes a thread; compute/send/receive/wait
+    segments become complete ("ph":"X") events with microsecond
+    timestamps. *)
+
+val to_json : ?process_name:string -> Sim.result -> string
+(** The trace as a JSON array of event objects. *)
+
+val save : ?process_name:string -> string -> Sim.result -> unit
+(** Write the JSON to a file path. *)

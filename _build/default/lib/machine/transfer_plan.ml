@@ -1,0 +1,56 @@
+type message = {
+  src_proc : int;
+  dst_proc : int;
+  bytes : float;
+}
+
+let messages ~kind ~bytes ~senders ~receivers =
+  if Array.length senders = 0 || Array.length receivers = 0 then
+    invalid_arg "Transfer_plan.messages: empty processor set";
+  if bytes < 0.0 || not (Float.is_finite bytes) then
+    invalid_arg "Transfer_plan.messages: bad byte count";
+  if bytes = 0.0 then []
+  else
+    let pi = Array.length senders and pj = Array.length receivers in
+    match (kind : Mdg.Graph.transfer_kind) with
+    | Twod ->
+        let chunk = bytes /. float_of_int (pi * pj) in
+        Array.to_list senders
+        |> List.concat_map (fun s ->
+               Array.to_list receivers
+               |> List.map (fun r -> { src_proc = s; dst_proc = r; bytes = chunk }))
+    | Oned ->
+        let fi = float_of_int pi and fj = float_of_int pj in
+        let acc = ref [] in
+        for s = pi - 1 downto 0 do
+          let s_lo = float_of_int s *. bytes /. fi in
+          let s_hi = float_of_int (s + 1) *. bytes /. fi in
+          for r = pj - 1 downto 0 do
+            let r_lo = float_of_int r *. bytes /. fj in
+            let r_hi = float_of_int (r + 1) *. bytes /. fj in
+            let overlap = Float.min s_hi r_hi -. Float.max s_lo r_lo in
+            if overlap > 1e-9 then
+              acc :=
+                {
+                  src_proc = senders.(s);
+                  dst_proc = receivers.(r);
+                  bytes = overlap;
+                }
+                :: !acc
+          done
+        done;
+        !acc
+
+let total_bytes msgs = List.fold_left (fun acc m -> acc +. m.bytes) 0.0 msgs
+
+let max_messages_per_sender msgs =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      let c = Option.value (Hashtbl.find_opt counts m.src_proc) ~default:0 in
+      Hashtbl.replace counts m.src_proc (c + 1))
+    msgs;
+  Hashtbl.fold (fun _ c acc -> Int.max c acc) counts 0
+
+let conserves_bytes ?(eps = 1e-6) ~bytes msgs =
+  Float.abs (total_bytes msgs -. bytes) <= eps *. Float.max 1.0 bytes

@@ -1,0 +1,40 @@
+(** Message-level plans for inter-node array redistribution.
+
+    Expands an MDG edge (bytes, 1D/2D kind, sender and receiver
+    processor sets) into the individual point-to-point messages the
+    machine actually exchanges:
+
+    - 1D (distribution dimension unchanged): block-interval overlap —
+      sender [s] owns byte range [[sL/pᵢ, (s+1)L/pᵢ)], receiver [r]
+      owns [[rL/pⱼ, (r+1)L/pⱼ)]; a message is generated for every
+      overlapping pair.  When one count divides the other this yields
+      exactly [max(pᵢ,pⱼ)] messages, as the paper's cost model
+      assumes.
+    - 2D (dimension flips): all-to-all — every sender sends
+      [L/(pᵢ·pⱼ)] bytes to every receiver.
+
+    Messages whose source and destination are the same physical
+    processor represent local copies; the simulator charges them
+    (almost) nothing. *)
+
+type message = {
+  src_proc : int;
+  dst_proc : int;
+  bytes : float;
+}
+
+val messages :
+  kind:Mdg.Graph.transfer_kind ->
+  bytes:float ->
+  senders:int array ->
+  receivers:int array ->
+  message list
+(** Raises [Invalid_argument] on empty processor sets or negative
+    sizes.  Zero-byte transfers yield no messages. *)
+
+val total_bytes : message list -> float
+
+val max_messages_per_sender : message list -> int
+
+val conserves_bytes : ?eps:float -> bytes:float -> message list -> bool
+(** Check that message sizes sum to the transferred array size. *)

@@ -1,0 +1,1 @@
+lib/mdg/analysis.ml: Array Float Graph Hashtbl Int List Option Printf Set

@@ -1,0 +1,1 @@
+lib/mdg/analysis.mli: Graph

@@ -1,0 +1,1 @@
+lib/mdg/graph.ml: Array Float Format Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/mdg/graph.mli: Format

@@ -1,0 +1,1 @@
+lib/mdg/render.ml: Analysis Array Buffer Format Graph Int List Printf String

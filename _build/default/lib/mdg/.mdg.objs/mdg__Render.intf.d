@@ -1,0 +1,1 @@
+lib/mdg/render.mli: Graph

@@ -1,0 +1,1 @@
+lib/mdg/serialize.ml: Array Buffer Graph List Printf String

@@ -1,0 +1,1 @@
+lib/mdg/serialize.mli: Graph

@@ -1,0 +1,126 @@
+let topological_order g =
+  let n = Graph.num_nodes g in
+  let indeg = Array.make n 0 in
+  List.iter
+    (fun (e : Graph.edge) -> indeg.(e.dst) <- indeg.(e.dst) + 1)
+    (Graph.edges g);
+  (* Min-id-first ready set keeps the order deterministic. *)
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  Array.iteri (fun i d -> if d = 0 then ready := IS.add i !ready) indeg;
+  let rec go acc =
+    match IS.min_elt_opt !ready with
+    | None -> List.rev acc
+    | Some u ->
+        ready := IS.remove u !ready;
+        List.iter
+          (fun (e : Graph.edge) ->
+            indeg.(e.dst) <- indeg.(e.dst) - 1;
+            if indeg.(e.dst) = 0 then ready := IS.add e.dst !ready)
+          (Graph.succs g u);
+        go (u :: acc)
+  in
+  let order = go [] in
+  assert (List.length order = n);
+  order
+
+let reverse_topological_order g = List.rev (topological_order g)
+
+let reachable g s =
+  let n = Graph.num_nodes g in
+  if s < 0 || s >= n then invalid_arg "Analysis.reachable: bad node";
+  let seen = Array.make n false in
+  let rec dfs u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter (fun (e : Graph.edge) -> dfs e.dst) (Graph.succs g u)
+    end
+  in
+  dfs s;
+  seen
+
+let check_weight what w =
+  if w < 0.0 || not (Float.is_finite w) then
+    invalid_arg (Printf.sprintf "Analysis: negative or non-finite %s weight" what)
+
+let finish_times ~node_weight ~edge_weight g =
+  let n = Graph.num_nodes g in
+  let y = Array.make n 0.0 in
+  List.iter
+    (fun u ->
+      let t_u = node_weight u in
+      check_weight "node" t_u;
+      let start =
+        List.fold_left
+          (fun acc (e : Graph.edge) ->
+            let d = edge_weight e in
+            check_weight "edge" d;
+            Float.max acc (y.(e.src) +. d))
+          0.0 (Graph.preds g u)
+      in
+      y.(u) <- start +. t_u)
+    (topological_order g);
+  y
+
+let critical_path_time ~node_weight ~edge_weight g =
+  let y = finish_times ~node_weight ~edge_weight g in
+  Array.fold_left Float.max 0.0 y
+
+let critical_path ~node_weight ~edge_weight g =
+  let y = finish_times ~node_weight ~edge_weight g in
+  let n = Graph.num_nodes g in
+  (* Walk back from the node with the largest finish time, at each step
+     choosing a predecessor that realises the start time. *)
+  let last = ref 0 in
+  for i = 1 to n - 1 do
+    if y.(i) > y.(!last) then last := i
+  done;
+  let eps v = 1e-12 *. (1.0 +. Float.abs v) in
+  let rec back u acc =
+    let start = y.(u) -. node_weight u in
+    match
+      List.find_opt
+        (fun (e : Graph.edge) ->
+          Float.abs (y.(e.src) +. edge_weight e -. start) <= eps start)
+        (Graph.preds g u)
+    with
+    | Some e -> back e.src (u :: acc)
+    | None -> u :: acc
+  in
+  back !last []
+
+let total_area ~node_weight ~procs g =
+  let acc = ref 0.0 in
+  for i = 0 to Graph.num_nodes g - 1 do
+    let t = node_weight i in
+    let p = procs i in
+    check_weight "node" t;
+    if p < 0.0 then invalid_arg "Analysis.total_area: negative processor count";
+    acc := !acc +. (t *. p)
+  done;
+  !acc
+
+let levels g =
+  let n = Graph.num_nodes g in
+  let lvl = Array.make n 0 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (e : Graph.edge) -> lvl.(e.dst) <- Int.max lvl.(e.dst) (lvl.(e.src) + 1))
+        (Graph.succs g u))
+    (topological_order g);
+  lvl
+
+let depth g =
+  let lvl = levels g in
+  1 + Array.fold_left Int.max 0 lvl
+
+let max_width g =
+  let lvl = levels g in
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun l ->
+      let c = Option.value (Hashtbl.find_opt counts l) ~default:0 in
+      Hashtbl.replace counts l (c + 1))
+    lvl;
+  Hashtbl.fold (fun _ c acc -> Int.max c acc) counts 0

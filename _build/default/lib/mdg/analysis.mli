@@ -1,0 +1,52 @@
+(** Structural analyses over MDGs: topological order, longest paths
+    (critical path), reachability, and parallelism metrics.
+
+    Weighted analyses are parameterised by weight functions so they can
+    be reused with model-predicted weights (allocation, Section 2),
+    rounded-allocation weights (PSA, Section 3), or measured weights. *)
+
+val topological_order : Graph.t -> int list
+(** Node ids in a topological order of the precedence relation
+    (deterministic: ties broken by node id). *)
+
+val reverse_topological_order : Graph.t -> int list
+
+val reachable : Graph.t -> int -> bool array
+(** [reachable g s] marks every node reachable from [s] (including
+    [s]). *)
+
+val finish_times :
+  node_weight:(int -> float) ->
+  edge_weight:(Graph.edge -> float) ->
+  Graph.t ->
+  float array
+(** The paper's recurrence [yᵢ = max over preds (y_m + t^D_mi) + Tᵢ]:
+    earliest finish time of each node assuming unlimited processors.
+    Raises [Invalid_argument] on negative weights. *)
+
+val critical_path_time :
+  node_weight:(int -> float) ->
+  edge_weight:(Graph.edge -> float) ->
+  Graph.t ->
+  float
+(** [C_p]: the largest finish time over all nodes. *)
+
+val critical_path :
+  node_weight:(int -> float) ->
+  edge_weight:(Graph.edge -> float) ->
+  Graph.t ->
+  int list
+(** One maximising path (node ids, source to sink). *)
+
+val total_area :
+  node_weight:(int -> float) -> procs:(int -> float) -> Graph.t -> float
+(** [Σᵢ Tᵢ·pᵢ]: total processor-time area (the numerator of the
+    paper's average finish time [A_p]). *)
+
+val depth : Graph.t -> int
+(** Number of nodes on the longest unit-weight path. *)
+
+val max_width : Graph.t -> int
+(** Size of the largest antichain layer: the maximum, over the
+    levelisation by unit-depth, of nodes sharing a level.  An upper
+    bound estimate of exploitable functional parallelism. *)

@@ -1,0 +1,60 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot ?(name = "mdg") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box];\n";
+  Array.iter
+    (fun (nd : Graph.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\n%s\"];\n" nd.id (escape nd.label)
+           (Format.asprintf "%a" Graph.pp_kernel nd.kernel)))
+    (Graph.nodes g);
+  List.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%gB %s\"];\n" e.src e.dst e.bytes
+           (Format.asprintf "%a" Graph.pp_transfer_kind e.kind)))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_ascii g =
+  let buf = Buffer.create 1024 in
+  (* Group nodes by unit-depth level. *)
+  let n = Graph.num_nodes g in
+  let lvl = Array.make n 0 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (e : Graph.edge) -> lvl.(e.dst) <- Int.max lvl.(e.dst) (lvl.(e.src) + 1))
+        (Graph.succs g u))
+    (Analysis.topological_order g);
+  let max_lvl = Array.fold_left Int.max 0 lvl in
+  for l = 0 to max_lvl do
+    let here =
+      Array.to_list (Graph.nodes g)
+      |> List.filter (fun (nd : Graph.node) -> lvl.(nd.id) = l)
+    in
+    Buffer.add_string buf (Printf.sprintf "level %d: " l);
+    List.iteri
+      (fun k (nd : Graph.node) ->
+        if k > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Printf.sprintf "[%d]%s" nd.id nd.label))
+      here;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "edges:\n";
+  List.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d  (%g bytes, %s)\n" e.src e.dst e.bytes
+           (Format.asprintf "%a" Graph.pp_transfer_kind e.kind)))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let summary g =
+  Printf.sprintf "%d nodes, %d edges, depth %d, max width %d"
+    (Graph.num_nodes g)
+    (List.length (Graph.edges g))
+    (Analysis.depth g) (Analysis.max_width g)

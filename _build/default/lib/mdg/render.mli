@@ -1,0 +1,13 @@
+(** Rendering MDGs for humans: Graphviz DOT and a plain-text adjacency
+    listing (used by the Figure 6 reproduction). *)
+
+val to_dot : ?name:string -> Graph.t -> string
+(** Graphviz source for the graph.  Node labels include the kernel;
+    edge labels include bytes and transfer kind. *)
+
+val to_ascii : Graph.t -> string
+(** Levelised text rendering: one line per depth level listing the
+    nodes at that level, followed by the edge list. *)
+
+val summary : Graph.t -> string
+(** One-line structural summary (nodes, edges, depth, width). *)

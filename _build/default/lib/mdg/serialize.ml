@@ -1,0 +1,166 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let quote label =
+  let buf = Buffer.create (String.length label + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    label;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* Parse a trailing quoted string starting at [start]; returns the
+   label. *)
+let unquote line lineno start =
+  let n = String.length line in
+  if start >= n || line.[start] <> '"' then fail lineno "expected quoted label";
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= n then fail lineno "unterminated label"
+    else
+      match line.[i] with
+      | '"' ->
+          if i + 1 <> n then fail lineno "trailing characters after label";
+          Buffer.contents buf
+      | '\\' ->
+          if i + 1 >= n then fail lineno "dangling escape";
+          (match line.[i + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | c -> fail lineno "bad escape \\%c" c);
+          go (i + 2)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go (start + 1)
+
+let kernel_to_string : Graph.kernel -> string = function
+  | Matrix_init n -> Printf.sprintf "init:%d" n
+  | Matrix_add n -> Printf.sprintf "add:%d" n
+  | Matrix_multiply n -> Printf.sprintf "mul:%d" n
+  | Synthetic { alpha; tau } -> Printf.sprintf "synthetic:%.17g:%.17g" alpha tau
+  | Dummy -> "dummy"
+
+let kernel_of_string lineno s : Graph.kernel =
+  match String.split_on_char ':' s with
+  | [ "dummy" ] -> Dummy
+  | [ "init"; n ] -> Matrix_init (int_of_string n)
+  | [ "add"; n ] -> Matrix_add (int_of_string n)
+  | [ "mul"; n ] -> Matrix_multiply (int_of_string n)
+  | [ "synthetic"; a; t ] ->
+      Synthetic { alpha = float_of_string a; tau = float_of_string t }
+  | _ -> fail lineno "bad kernel %S" s
+
+let kind_to_string : Graph.transfer_kind -> string = function
+  | Oned -> "1d"
+  | Twod -> "2d"
+
+let kind_of_string lineno = function
+  | "1d" -> Graph.Oned
+  | "2d" -> Graph.Twod
+  | s -> fail lineno "bad transfer kind %S" s
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "mdg\n";
+  Array.iter
+    (fun (nd : Graph.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %s %s\n" nd.id (kernel_to_string nd.kernel)
+           (quote nd.label)))
+    (Graph.nodes g);
+  List.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %d %d %.17g %s\n" e.src e.dst e.bytes
+           (kind_to_string e.kind)))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let b = Graph.create_builder () in
+  let next_id = ref 0 in
+  let saw_header = ref false in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then
+        if not !saw_header then
+          if line = "mdg" then saw_header := true
+          else fail lineno "expected 'mdg' header"
+        else
+          match String.index_opt line ' ' with
+          | None -> fail lineno "cannot parse line"
+          | Some sp -> (
+              let keyword = String.sub line 0 sp in
+              let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+              match keyword with
+              | "node" -> (
+                  (* node <id> <kernel> "<label>" *)
+                  match String.split_on_char ' ' rest with
+                  | id :: kernel :: _ ->
+                      let id =
+                        match int_of_string_opt id with
+                        | Some i -> i
+                        | None -> fail lineno "bad node id %S" id
+                      in
+                      if id <> !next_id then
+                        fail lineno "node ids must be dense and ordered (got %d, expected %d)"
+                          id !next_id;
+                      let kernel = kernel_of_string lineno kernel in
+                      (* The label is the first '"' on the line. *)
+                      let qpos =
+                        match String.index_opt line '"' with
+                        | Some q -> q
+                        | None -> fail lineno "missing label"
+                      in
+                      let label = unquote line lineno qpos in
+                      let got = Graph.add_node b ~label ~kernel in
+                      assert (got = id);
+                      incr next_id
+                  | _ -> fail lineno "cannot parse node line")
+              | "edge" -> (
+                  match String.split_on_char ' ' rest with
+                  | [ src; dst; bytes; kind ] ->
+                      let int_field name v =
+                        match int_of_string_opt v with
+                        | Some i -> i
+                        | None -> fail lineno "bad %s %S" name v
+                      in
+                      let bytes =
+                        match float_of_string_opt bytes with
+                        | Some f -> f
+                        | None -> fail lineno "bad bytes %S" bytes
+                      in
+                      Graph.add_edge b ~src:(int_field "src" src)
+                        ~dst:(int_field "dst" dst) ~bytes
+                        ~kind:(kind_of_string lineno kind)
+                  | _ -> fail lineno "cannot parse edge line")
+              | other -> fail lineno "unknown keyword %S" other))
+    lines;
+  if not !saw_header then fail 0 "missing 'mdg' header";
+  Graph.build b
+
+let save path g =
+  let oc = open_out path in
+  output_string oc (to_string g);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text

@@ -1,0 +1,30 @@
+(** Textual serialisation of MDGs.
+
+    A stable, human-editable line format:
+
+    {v
+      mdg
+      node <id> <kernel> "<label>"
+      ...
+      edge <src> <dst> <bytes> <1d|2d>
+      ...
+    v}
+
+    where [<kernel>] is one of [init:<n>], [add:<n>], [mul:<n>],
+    [synthetic:<alpha>:<tau>], [dummy].  Node ids must be dense and in
+    order (they are re-checked on load).  The format round-trips:
+    [of_string (to_string g)] reconstructs an identical graph. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** Raises {!Parse_error} on malformed input, and [Invalid_argument]
+    if the described graph itself is invalid (cycles, bad sizes...). *)
+
+val save : string -> Graph.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Graph.t
+(** Read from a file path; raises [Sys_error] if unreadable. *)

@@ -1,0 +1,1 @@
+lib/numeric/linreg.ml: Array List Mat Qr Vec

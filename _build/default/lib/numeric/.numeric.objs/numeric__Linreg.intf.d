@@ -1,0 +1,1 @@
+lib/numeric/linreg.mli: Vec

@@ -1,0 +1,1 @@
+lib/numeric/pow2.mli:

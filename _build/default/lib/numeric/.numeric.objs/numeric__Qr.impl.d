@@ -1,0 +1,1 @@
+lib/numeric/qr.ml: Array Float Mat Vec

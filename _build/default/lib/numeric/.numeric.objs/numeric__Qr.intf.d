@@ -1,0 +1,1 @@
+lib/numeric/qr.mli: Mat Vec

@@ -1,0 +1,60 @@
+type fit = {
+  coeffs : Vec.t;
+  residuals : Vec.t;
+  r_squared : float;
+  rmse : float;
+}
+
+let design ~basis ~inputs =
+  let rows = List.map basis inputs in
+  match rows with
+  | [] -> invalid_arg "Linreg.fit: no samples"
+  | first :: _ ->
+      let k = Array.length first in
+      if k = 0 then invalid_arg "Linreg.fit: empty basis";
+      List.iter
+        (fun r ->
+          if Array.length r <> k then
+            invalid_arg "Linreg.fit: inconsistent basis row lengths")
+        rows;
+      Mat.of_arrays (Array.of_list rows)
+
+let fit ~basis ~inputs ~observations =
+  if List.length inputs <> List.length observations then
+    invalid_arg "Linreg.fit: inputs/observations length mismatch";
+  let a = design ~basis ~inputs in
+  if Mat.rows a < Mat.cols a then
+    invalid_arg "Linreg.fit: fewer samples than coefficients";
+  let y = Vec.of_list observations in
+  (* Householder QR is the primary path (stabler for badly scaled
+     designs); normal equations with Tikhonov fallback handle rank
+     deficiency. *)
+  let coeffs =
+    try Qr.lsq a y with Failure _ -> Mat.solve_lsq a y
+  in
+  let predicted = Mat.mat_vec a coeffs in
+  let residuals = Vec.sub predicted y in
+  let n = Vec.dim y in
+  let ss_res = Vec.dot residuals residuals in
+  let y_mean = Vec.mean y in
+  let ss_tot =
+    Array.fold_left (fun acc v -> acc +. ((v -. y_mean) ** 2.0)) 0.0 y
+  in
+  let r_squared = if ss_tot <= 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  let rmse = sqrt (ss_res /. float_of_int n) in
+  { coeffs; residuals; r_squared; rmse }
+
+let predict ~basis f input = Vec.dot (basis input) f.coeffs
+
+let fit_through_origin_1d ~xs ~ys =
+  if List.length xs <> List.length ys || xs = [] then
+    invalid_arg "Linreg.fit_through_origin_1d: bad data";
+  let sxy = List.fold_left2 (fun acc x y -> acc +. (x *. y)) 0.0 xs ys in
+  let sxx = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  if sxx = 0.0 then invalid_arg "Linreg.fit_through_origin_1d: degenerate xs";
+  sxy /. sxx
+
+let fit_affine_1d ~xs ~ys =
+  let inputs = List.map (fun x -> [| x |]) xs in
+  let f = fit ~basis:(fun a -> [| 1.0; a.(0) |]) ~inputs ~observations:ys in
+  (f.coeffs.(0), f.coeffs.(1))

@@ -1,0 +1,34 @@
+(** Multiple linear regression by least squares.
+
+    Used to implement the paper's "training sets" approach: measured
+    costs are regressed onto the basis functions of the posynomial cost
+    models to recover machine parameters (Tables 1 and 2 of the
+    paper). *)
+
+type fit = {
+  coeffs : Vec.t;      (** fitted coefficients, one per basis function *)
+  residuals : Vec.t;   (** per-sample [predicted - observed] *)
+  r_squared : float;   (** coefficient of determination *)
+  rmse : float;        (** root-mean-square error *)
+}
+
+val fit :
+  basis:(float array -> float array) ->
+  inputs:float array list ->
+  observations:float list ->
+  fit
+(** [fit ~basis ~inputs ~observations] regresses each observation onto
+    [basis input].  All basis rows must have the same length, and there
+    must be at least as many samples as coefficients.
+
+    @raise Invalid_argument on empty or mismatched data. *)
+
+val predict : basis:(float array -> float array) -> fit -> float array -> float
+(** Evaluate the fitted model on a fresh input. *)
+
+val fit_through_origin_1d :
+  xs:float list -> ys:float list -> float
+(** Slope of the best [y = a x] fit (no intercept). *)
+
+val fit_affine_1d : xs:float list -> ys:float list -> float * float
+(** [(intercept, slope)] of the best [y = a + b x] fit. *)

@@ -1,0 +1,179 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols x =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let init rows cols f =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.init: negative dimension";
+  let data = Array.make (rows * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then invalid_arg "Mat.of_arrays: zero rows";
+  let cols = Array.length a.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> cols then invalid_arg "Mat.of_arrays: ragged rows")
+    a;
+  init rows cols (fun i j -> a.(i).(j))
+
+let rows m = m.rows
+
+let cols m = m.cols
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Mat.get: index out of bounds";
+  m.data.((i * m.cols) + j)
+
+let set m i j x =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Mat.set: index out of bounds";
+  m.data.((i * m.cols) + j) <- x
+
+let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
+
+let copy m = { m with data = Array.copy m.data }
+
+let row m i = Array.init m.cols (fun j -> get m i j)
+
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let same_shape name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: shape mismatch (%dx%d vs %dx%d)" name a.rows
+         a.cols b.rows b.cols)
+
+let add a b =
+  same_shape "add" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+
+let sub a b =
+  same_shape "sub" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) -. b.data.(k)) }
+
+let scale c m = { m with data = Array.map (fun x -> c *. x) m.data }
+
+let matmul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul: inner dimension mismatch (%d vs %d)" a.cols
+         b.rows);
+  let c = create a.rows b.cols 0.0 in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <-
+            c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  c
+
+let mat_vec m v =
+  if m.cols <> Array.length v then
+    invalid_arg "Mat.mat_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.((i * m.cols) + j) *. v.(j))
+      done;
+      !acc)
+
+let map f m = { m with data = Array.map f m.data }
+
+let frobenius_norm m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)
+
+let max_abs_diff a b =
+  same_shape "max_abs_diff" a b;
+  let d = ref 0.0 in
+  Array.iteri (fun k x -> d := Float.max !d (Float.abs (x -. b.data.(k)))) a.data;
+  !d
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols && max_abs_diff a b <= eps
+
+(* Gaussian elimination with partial pivoting on an augmented copy. *)
+let solve a b =
+  if a.rows <> a.cols then invalid_arg "Mat.solve: matrix not square";
+  if a.rows <> Array.length b then invalid_arg "Mat.solve: rhs dimension mismatch";
+  let n = a.rows in
+  let m = copy a in
+  let x = Array.copy b in
+  for k = 0 to n - 1 do
+    (* Pivot selection. *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (get m i k) > Float.abs (get m !pivot k) then pivot := i
+    done;
+    if Float.abs (get m !pivot k) < 1e-12 then
+      failwith "Mat.solve: singular or near-singular matrix";
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let t = get m k j in
+        set m k j (get m !pivot j);
+        set m !pivot j t
+      done;
+      let t = x.(k) in
+      x.(k) <- x.(!pivot);
+      x.(!pivot) <- t
+    end;
+    for i = k + 1 to n - 1 do
+      let f = get m i k /. get m k k in
+      if f <> 0.0 then begin
+        for j = k to n - 1 do
+          set m i j (get m i j -. (f *. get m k j))
+        done;
+        x.(i) <- x.(i) -. (f *. x.(k))
+      end
+    done
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get m i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get m i i
+  done;
+  x
+
+let solve_lsq a b =
+  if a.rows <> Array.length b then
+    invalid_arg "Mat.solve_lsq: rhs dimension mismatch";
+  let at = transpose a in
+  let ata = matmul at a in
+  let atb = mat_vec at b in
+  try solve ata atb
+  with Failure _ ->
+    (* Tikhonov-regularised fallback for rank-deficient designs. *)
+    let n = cols a in
+    let reg = init n n (fun i j -> get ata i j +. if i = j then 1e-9 else 0.0) in
+    solve reg atb
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%10.6g" (get m i j)
+    done;
+    Format.fprintf fmt "]";
+    if i < m.rows - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

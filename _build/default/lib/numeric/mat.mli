@@ -1,0 +1,71 @@
+(** Dense row-major matrices of floats.
+
+    Sized for the small systems that arise in cost-model fitting
+    (normal equations with a handful of unknowns) and for the matrix
+    kernels in [Kernels]; not tuned for very large problems. *)
+
+type t
+
+val create : int -> int -> float -> t
+(** [create rows cols x] is a [rows]×[cols] matrix filled with [x]. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init rows cols f] has entry [f i j] at row [i], column [j]. *)
+
+val identity : int -> t
+
+val of_arrays : float array array -> t
+(** Copies a rectangular array-of-rows; raises [Invalid_argument] if the
+    rows are ragged or there are zero rows. *)
+
+val to_arrays : t -> float array array
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val row : t -> int -> Vec.t
+(** Copy of row [i]. *)
+
+val col : t -> int -> Vec.t
+(** Copy of column [j]. *)
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val matmul : t -> t -> t
+(** Standard O(n³) triple loop; dimension-checked. *)
+
+val mat_vec : t -> Vec.t -> Vec.t
+
+val map : (float -> float) -> t -> t
+
+val frobenius_norm : t -> float
+
+val max_abs_diff : t -> t -> float
+(** Largest absolute entrywise difference; raises on shape mismatch. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve a b] solves [a x = b] for square [a] by Gaussian elimination
+    with partial pivoting.  Raises [Failure] on (near-)singular
+    systems. *)
+
+val solve_lsq : t -> Vec.t -> Vec.t
+(** [solve_lsq a b] returns the least-squares solution of the
+    overdetermined system [a x ≈ b] via the normal equations with
+    Tikhonov fallback when AᵀA is singular. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let floor_pow2 n =
+  if n < 1 then invalid_arg "Pow2.floor_pow2: n < 1";
+  let rec go acc = if acc * 2 <= n then go (acc * 2) else acc in
+  go 1
+
+let ceil_pow2 n =
+  if n < 1 then invalid_arg "Pow2.ceil_pow2: n < 1";
+  let f = floor_pow2 n in
+  if f = n then f else f * 2
+
+let log2_exact n =
+  if not (is_pow2 n) then invalid_arg "Pow2.log2_exact: not a power of two";
+  let rec go k acc = if acc = n then k else go (k + 1) (acc * 2) in
+  go 0 1
+
+let nearest_pow2 x =
+  if not (Float.is_finite x) || x <= 0.0 then
+    invalid_arg "Pow2.nearest_pow2: non-positive argument";
+  if x <= 1.0 then 1
+  else
+    let lo = floor_pow2 (int_of_float (Float.floor x)) in
+    let hi = lo * 2 in
+    (* Arithmetic nearest, ties up: matches the paper's worst-case
+       change of [2/3, 4/3] at the midpoint 1.5*lo. *)
+    if x -. float_of_int lo < float_of_int hi -. x then lo else hi
+
+let pow2_range p =
+  if p < 1 then invalid_arg "Pow2.pow2_range: p < 1";
+  let rec go acc k = if k > p then List.rev acc else go (k :: acc) (k * 2) in
+  go [] 1

@@ -1,0 +1,26 @@
+(** Power-of-two arithmetic used by the PSA rounding and bounding steps
+    (paper Section 3, Theorem 2). *)
+
+val is_pow2 : int -> bool
+(** True for 1, 2, 4, 8, ...; false for non-positive integers. *)
+
+val floor_pow2 : int -> int
+(** Largest power of two [<= n]; raises [Invalid_argument] if [n < 1]. *)
+
+val ceil_pow2 : int -> int
+(** Smallest power of two [>= n]; raises [Invalid_argument] if [n < 1]. *)
+
+val log2_exact : int -> int
+(** [log2_exact (1 lsl k) = k]; raises [Invalid_argument] on
+    non-powers of two. *)
+
+val nearest_pow2 : float -> int
+(** Round a positive real to the arithmetically nearest power of two,
+    ties rounding up.  This is the paper's rounding-off step: the result
+    never changes the value by more than a factor in [2/3, 4/3].
+    Raises [Invalid_argument] if the argument is not positive and
+    finite. *)
+
+val pow2_range : int -> int list
+(** [pow2_range p] lists every power of two in [1, p], ascending.
+    Raises [Invalid_argument] if [p < 1]. *)

@@ -1,0 +1,119 @@
+(* Householder QR: A = Q R, with Q stored implicitly as the sequence of
+   Householder vectors in the lower trapezoid of [factors] and R in its
+   upper triangle. *)
+
+type t = {
+  m : int;
+  n : int;
+  factors : Mat.t;   (* packed: R above the diagonal, v_k below *)
+  betas : Vec.t;     (* Householder scalars *)
+}
+
+let factorise a =
+  let m = Mat.rows a and n = Mat.cols a in
+  if m < n then invalid_arg "Qr.factorise: more columns than rows";
+  let f = Mat.copy a in
+  let betas = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* Build the Householder vector annihilating column k below row k. *)
+    let norm = ref 0.0 in
+    for i = k to m - 1 do
+      norm := !norm +. (Mat.get f i k ** 2.0)
+    done;
+    let norm = sqrt !norm in
+    if norm > 0.0 then begin
+      let akk = Mat.get f k k in
+      let alpha = if akk >= 0.0 then -.norm else norm in
+      (* v = x - alpha e1, normalised so v_k = 1. *)
+      let v0 = akk -. alpha in
+      if v0 <> 0.0 then begin
+        for i = k + 1 to m - 1 do
+          Mat.set f i k (Mat.get f i k /. v0)
+        done;
+        (* beta = 2 / (v'v); with v_k = 1 after the scaling above,
+           v'v = 1 + sum_{i>k} f_ik^2. *)
+        let vtv = ref 1.0 in
+        for i = k + 1 to m - 1 do
+          vtv := !vtv +. (Mat.get f i k ** 2.0)
+        done;
+        let beta = 2.0 /. !vtv in
+        betas.(k) <- beta;
+        Mat.set f k k alpha;
+        (* Apply H = I - beta v v' to the remaining columns. *)
+        for j = k + 1 to n - 1 do
+          let dot = ref (Mat.get f k j) in
+          for i = k + 1 to m - 1 do
+            dot := !dot +. (Mat.get f i k *. Mat.get f i j)
+          done;
+          let s = beta *. !dot in
+          Mat.set f k j (Mat.get f k j -. s);
+          for i = k + 1 to m - 1 do
+            Mat.set f i j (Mat.get f i j -. (s *. Mat.get f i k))
+          done
+        done
+      end
+      else begin
+        (* Column already annihilated below the diagonal. *)
+        betas.(k) <- 0.0;
+        Mat.set f k k alpha
+      end
+    end
+  done;
+  { m; n; factors = f; betas }
+
+(* Apply Q' to a length-m vector in place (Householder reflections in
+   order). *)
+let apply_qt t y =
+  let y = Array.copy y in
+  for k = 0 to t.n - 1 do
+    if t.betas.(k) <> 0.0 then begin
+      let dot = ref y.(k) in
+      for i = k + 1 to t.m - 1 do
+        dot := !dot +. (Mat.get t.factors i k *. y.(i))
+      done;
+      let s = t.betas.(k) *. !dot in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to t.m - 1 do
+        y.(i) <- y.(i) -. (s *. Mat.get t.factors i k)
+      done
+    end
+  done;
+  y
+
+(* Apply Q to a length-m vector (reflections in reverse order). *)
+let q_times t y =
+  if Array.length y <> t.m then invalid_arg "Qr.q_times: dimension mismatch";
+  let y = Array.copy y in
+  for k = t.n - 1 downto 0 do
+    if t.betas.(k) <> 0.0 then begin
+      let dot = ref y.(k) in
+      for i = k + 1 to t.m - 1 do
+        dot := !dot +. (Mat.get t.factors i k *. y.(i))
+      done;
+      let s = t.betas.(k) *. !dot in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to t.m - 1 do
+        y.(i) <- y.(i) -. (s *. Mat.get t.factors i k)
+      done
+    end
+  done;
+  y
+
+let r_diagonal t = Array.init t.n (fun k -> Mat.get t.factors k k)
+
+let solve_lsq t b =
+  if Array.length b <> t.m then invalid_arg "Qr.solve_lsq: rhs dimension mismatch";
+  let qtb = apply_qt t b in
+  let x = Array.make t.n 0.0 in
+  for i = t.n - 1 downto 0 do
+    let rii = Mat.get t.factors i i in
+    if Float.abs rii < 1e-14 then failwith "Qr.solve_lsq: rank-deficient system";
+    let acc = ref qtb.(i) in
+    for j = i + 1 to t.n - 1 do
+      acc := !acc -. (Mat.get t.factors i j *. x.(j))
+    done;
+    x.(i) <- !acc /. rii
+  done;
+  x
+
+let lsq a b = solve_lsq (factorise a) b

@@ -1,0 +1,29 @@
+(** Householder QR factorisation and least squares.
+
+    Numerically stabler than the normal equations used by
+    {!Mat.solve_lsq}: the condition number enters once, not squared.
+    Used by {!Linreg} when the design matrix is ill-conditioned (e.g.
+    transfer fits mixing per-byte and startup columns whose magnitudes
+    differ by six orders). *)
+
+type t
+(** A QR factorisation of an m×n matrix with m >= n. *)
+
+val factorise : Mat.t -> t
+(** Householder QR.  Raises [Invalid_argument] if the matrix has fewer
+    rows than columns. *)
+
+val solve_lsq : t -> Vec.t -> Vec.t
+(** Minimiser of ‖Ax − b‖₂ via [R x = Qᵀ b].  Raises [Failure] if R is
+    (numerically) rank deficient. *)
+
+val lsq : Mat.t -> Vec.t -> Vec.t
+(** [lsq a b] = [solve_lsq (factorise a) b]. *)
+
+val r_diagonal : t -> Vec.t
+(** The diagonal of R (its near-zero entries witness rank
+    deficiency). *)
+
+val q_times : t -> Vec.t -> Vec.t
+(** Apply Q to a length-m vector (reconstructs [a x] from [R x]
+    padded with zeros; exposed for testing orthogonality). *)

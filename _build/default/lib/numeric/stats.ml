@@ -1,0 +1,75 @@
+let nonempty name = function
+  | [] -> invalid_arg ("Stats." ^ name ^ ": empty list")
+  | xs -> xs
+
+let mean xs =
+  let xs = nonempty "mean" xs in
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  let xs = nonempty "variance" xs in
+  let m = mean xs in
+  List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+  /. float_of_int (List.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let geometric_mean xs =
+  let xs = nonempty "geometric_mean" xs in
+  List.iter
+    (fun x ->
+      if x <= 0.0 then
+        invalid_arg "Stats.geometric_mean: non-positive element")
+    xs;
+  exp (mean (List.map log xs))
+
+let sorted xs = List.sort Float.compare xs
+
+let median xs =
+  let xs = sorted (nonempty "median" xs) in
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile q xs =
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of [0,1]";
+  let a = Array.of_list (sorted (nonempty "percentile" xs)) in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Int.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let relative_error ~actual ~predicted =
+  if actual = 0.0 then invalid_arg "Stats.relative_error: zero actual";
+  (predicted -. actual) /. actual
+
+let paired name actual predicted =
+  if List.length actual <> List.length predicted || actual = [] then
+    invalid_arg ("Stats." ^ name ^ ": bad paired data");
+  List.combine actual predicted
+
+let max_relative_error ~actual ~predicted =
+  paired "max_relative_error" actual predicted
+  |> List.fold_left
+       (fun acc (a, p) -> Float.max acc (Float.abs (relative_error ~actual:a ~predicted:p)))
+       0.0
+
+let mean_absolute_percentage_error ~actual ~predicted =
+  let pairs = paired "mean_absolute_percentage_error" actual predicted in
+  100.0
+  *. mean
+       (List.map
+          (fun (a, p) -> Float.abs (relative_error ~actual:a ~predicted:p))
+          pairs)
+
+let speedup ~serial ~parallel =
+  if parallel <= 0.0 then invalid_arg "Stats.speedup: non-positive time";
+  serial /. parallel
+
+let efficiency ~serial ~parallel ~procs =
+  if procs <= 0 then invalid_arg "Stats.efficiency: non-positive procs";
+  speedup ~serial ~parallel /. float_of_int procs

@@ -1,0 +1,37 @@
+(** Small descriptive-statistics helpers used by the experiment
+    harness when reporting reproduction quality. *)
+
+val mean : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val variance : float list -> float
+(** Population variance; raises on the empty list. *)
+
+val stddev : float list -> float
+
+val geometric_mean : float list -> float
+(** Raises [Invalid_argument] if the list is empty or has a
+    non-positive element. *)
+
+val median : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile q xs] for [q] in [0,1], linear interpolation between
+    order statistics. *)
+
+val relative_error : actual:float -> predicted:float -> float
+(** [(predicted - actual) / actual]; raises if [actual = 0]. *)
+
+val max_relative_error : actual:float list -> predicted:float list -> float
+(** Largest absolute relative error across paired samples. *)
+
+val mean_absolute_percentage_error :
+  actual:float list -> predicted:float list -> float
+(** MAPE in percent across paired samples. *)
+
+val speedup : serial:float -> parallel:float -> float
+(** [serial /. parallel]; raises if [parallel <= 0]. *)
+
+val efficiency : serial:float -> parallel:float -> procs:int -> float
+(** Speedup divided by processor count. *)

@@ -1,0 +1,87 @@
+type t = float array
+
+let create n x = Array.make n x
+
+let init = Array.init
+
+let copy = Array.copy
+
+let dim = Array.length
+
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)"
+                   name (Array.length a) (Array.length b))
+
+let map2 f a b =
+  check_dims "map2" a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+
+let sub a b = map2 ( -. ) a b
+
+let mul a b = map2 ( *. ) a b
+
+let scale c v = Array.map (fun x -> c *. x) v
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_dims "dot" a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 v = sqrt (dot v v)
+
+let norm_inf v = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 v
+
+let dist2 a b = norm2 (sub a b)
+
+let sum v = Array.fold_left ( +. ) 0.0 v
+
+let nonempty name v =
+  if Array.length v = 0 then invalid_arg ("Vec." ^ name ^ ": empty vector")
+
+let mean v =
+  nonempty "mean" v;
+  sum v /. float_of_int (Array.length v)
+
+let min_elt v =
+  nonempty "min_elt" v;
+  Array.fold_left Float.min v.(0) v
+
+let max_elt v =
+  nonempty "max_elt" v;
+  Array.fold_left Float.max v.(0) v
+
+let map = Array.map
+
+let clamp ~lo ~hi v =
+  check_dims "clamp" lo v;
+  check_dims "clamp" hi v;
+  Array.init (Array.length v) (fun i -> Float.min hi.(i) (Float.max lo.(i) v.(i)))
+
+let approx_equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a b
+
+let pp fmt v =
+  Format.fprintf fmt "[|%a|]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+       (fun fmt x -> Format.fprintf fmt "%g" x))
+    (Array.to_list v)

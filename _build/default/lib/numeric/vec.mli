@@ -1,0 +1,73 @@
+(** Dense vectors of floats.
+
+    Thin, allocation-explicit helpers over [float array] used throughout
+    the numeric substrate.  All binary operations require equal lengths
+    and raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> float -> t
+(** [create n x] is a fresh vector of length [n] filled with [x]. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+
+val copy : t -> t
+
+val dim : t -> int
+
+val fill : t -> float -> unit
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val add : t -> t -> t
+(** Pointwise sum. *)
+
+val sub : t -> t -> t
+(** Pointwise difference. *)
+
+val mul : t -> t -> t
+(** Pointwise (Hadamard) product. *)
+
+val scale : float -> t -> t
+(** [scale c v] multiplies every component by [c]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Max-absolute-value norm; 0 for the empty vector. *)
+
+val dist2 : t -> t -> float
+(** Euclidean distance. *)
+
+val sum : t -> float
+
+val mean : t -> float
+(** Arithmetic mean; raises [Invalid_argument] on the empty vector. *)
+
+val min_elt : t -> float
+(** Smallest component; raises [Invalid_argument] on the empty vector. *)
+
+val max_elt : t -> float
+(** Largest component; raises [Invalid_argument] on the empty vector. *)
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val clamp : lo:t -> hi:t -> t -> t
+(** Componentwise projection onto the box [lo, hi]. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** True when vectors have equal length and all components differ by at
+    most [eps] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

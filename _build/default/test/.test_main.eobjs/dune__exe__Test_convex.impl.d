@@ -1,0 +1,1 @@
+test/test_convex.ml: Alcotest Array Convex Expr Float Gen List Numeric Posynomial Printf QCheck QCheck_alcotest Solver

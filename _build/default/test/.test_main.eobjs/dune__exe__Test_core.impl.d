@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Allocation Array Bounds Codegen Core Costmodel Float Gantt Gen Kernels List Machine Mdg Numeric Pipeline Printf Psa QCheck QCheck_alcotest Schedule String

@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Convex Costmodel Float List Machine Mdg Printf QCheck QCheck_alcotest

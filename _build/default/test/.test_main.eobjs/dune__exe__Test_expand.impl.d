@@ -1,0 +1,1 @@
+test/test_expand.ml: Alcotest Array Fun List Machine Mdg Printf

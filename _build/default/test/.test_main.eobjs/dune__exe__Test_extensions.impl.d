@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Core Costmodel Filename Float Kernels List Machine Mdg Printf QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_extensions2.ml: Alcotest Array Ast Convex Core Filename Float Frontend Kernels List Lower Machine Mdg Opt String Sys

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Core Float Frontend List Lower Machine Mdg Parse

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Core Costmodel Float Frontend Kernels List Machine Mdg Printf QCheck QCheck_alcotest

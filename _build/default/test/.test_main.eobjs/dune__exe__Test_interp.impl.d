@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Ast Frontend Interp List Numeric Opt Printf QCheck QCheck_alcotest

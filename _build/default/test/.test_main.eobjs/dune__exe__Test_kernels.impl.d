@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Kernels List Mdg Numeric Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Costmodel Float Fun Int List Machine Mdg QCheck QCheck_alcotest

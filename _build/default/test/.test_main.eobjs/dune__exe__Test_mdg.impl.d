@@ -1,0 +1,1 @@
+test/test_mdg.ml: Alcotest Array Fun Hashtbl Kernels List Mdg QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Float Fun List Machine Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Float Gen Linreg List Mat Numeric Pow2 QCheck QCheck_alcotest Qr Stats Vec

@@ -1,0 +1,105 @@
+(* Tests for the explicit data-parallel kernel expansion. *)
+
+module G = Mdg.Graph
+module M = Machine
+
+let gt = M.Ground_truth.cm5_like ()
+
+let test_expand_serial_matches_aggregate () =
+  (* On one processor there is no communication: expansion equals the
+     aggregate parallel term; for p = 1 the aggregate is exactly the
+     serial time. *)
+  List.iter
+    (fun kernel ->
+      let agg = M.Ground_truth.kernel_time gt kernel ~procs:1 in
+      let exp = M.Kernel_expand.simulated_time gt kernel ~procs:1 in
+      Alcotest.(check (float 1e-9)) "p=1 identical" agg exp)
+    [ G.Matrix_add 64; G.Matrix_multiply 64; G.Matrix_init 128 ]
+
+let test_expand_close_at_small_p () =
+  (* At the per-node processor counts the allocator typically picks,
+     the expansion stays within 25% of the aggregate model. *)
+  List.iter
+    (fun procs ->
+      let agg = M.Ground_truth.kernel_time gt (G.Matrix_multiply 64) ~procs in
+      let exp =
+        M.Kernel_expand.simulated_time gt (G.Matrix_multiply 64) ~procs
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%d ratio %.2f" procs (exp /. agg))
+        true
+        (exp /. agg > 0.75 && exp /. agg < 1.25))
+    [ 1; 2; 4; 8 ]
+
+let test_expand_add_pure_local () =
+  (* Aligned adds generate no messages. *)
+  let frag =
+    M.Kernel_expand.expand gt (G.Matrix_add 64) ~procs:(Array.init 8 Fun.id)
+      ~node:5 ~edge_base:0
+  in
+  List.iter
+    (fun (_, ops) ->
+      List.iter
+        (fun op ->
+          match op with
+          | M.Program.Compute { node; _ } -> Alcotest.(check int) "labelled" 5 node
+          | M.Program.Send _ | M.Program.Recv _ ->
+              Alcotest.fail "unexpected communication in an aligned add")
+        ops)
+    frag
+
+let test_expand_mul_has_allgather () =
+  let procs = Array.init 4 Fun.id in
+  let frag =
+    M.Kernel_expand.expand gt (G.Matrix_multiply 64) ~procs ~node:1 ~edge_base:10
+  in
+  let sends =
+    List.concat_map snd frag
+    |> List.filter (function M.Program.Send _ -> true | _ -> false)
+  in
+  (* Ring allgather: p messages per step, p-1 steps. *)
+  Alcotest.(check int) "12 sends" 12 (List.length sends);
+  (* All tags within the declared budget. *)
+  let budget = M.Kernel_expand.tags_used (G.Matrix_multiply 64) ~procs:4 in
+  List.iter
+    (function
+      | M.Program.Send { edge; _ } ->
+          Alcotest.(check bool) "tag in range" true
+            (edge >= 10 && edge < 10 + budget)
+      | _ -> ())
+    sends
+
+let test_expand_dummy_and_synthetic () =
+  let procs = Array.init 3 Fun.id in
+  let frag = M.Kernel_expand.expand gt G.Dummy ~procs ~node:0 ~edge_base:0 in
+  Alcotest.(check int) "dummy empty" 0 (List.length (List.concat_map snd frag));
+  let syn = G.Synthetic { alpha = 0.2; tau = 1.0 } in
+  let t = M.Kernel_expand.simulated_time gt syn ~procs:4 in
+  Alcotest.(check (float 1e-9)) "synthetic aggregate"
+    (M.Ground_truth.kernel_time gt syn ~procs:4)
+    t
+
+let test_expand_speedup_monotone_small () =
+  (* More processors never slow the expansion down in the regime where
+     compute dominates. *)
+  let t2 = M.Kernel_expand.simulated_time gt (G.Matrix_multiply 128) ~procs:2 in
+  let t4 = M.Kernel_expand.simulated_time gt (G.Matrix_multiply 128) ~procs:4 in
+  let t8 = M.Kernel_expand.simulated_time gt (G.Matrix_multiply 128) ~procs:8 in
+  Alcotest.(check bool) "2 -> 4 faster" true (t4 < t2);
+  Alcotest.(check bool) "4 -> 8 faster" true (t8 < t4)
+
+let suite =
+  [
+    Alcotest.test_case "expand: p=1 equals aggregate" `Quick
+      test_expand_serial_matches_aggregate;
+    Alcotest.test_case "expand: close to aggregate at small p" `Quick
+      test_expand_close_at_small_p;
+    Alcotest.test_case "expand: adds are pure local" `Quick
+      test_expand_add_pure_local;
+    Alcotest.test_case "expand: multiply allgathers" `Quick
+      test_expand_mul_has_allgather;
+    Alcotest.test_case "expand: dummy/synthetic fallbacks" `Quick
+      test_expand_dummy_and_synthetic;
+    Alcotest.test_case "expand: speedup at small p" `Quick
+      test_expand_speedup_monotone_small;
+  ]

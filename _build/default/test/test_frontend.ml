@@ -1,0 +1,223 @@
+(* Tests for the front end: AST validation, the textual parser, and
+   lowering (dependence analysis -> MDG). *)
+
+module G = Mdg.Graph
+open Frontend
+
+let simple_program () =
+  Ast.program ~size:32
+    [
+      Ast.stmt "A" Ast.Init;
+      Ast.stmt "B" Ast.Init;
+      Ast.stmt "C" (Ast.Mul ("A", "B"));
+      Ast.stmt "D" (Ast.Add ("C", "A"));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Ast                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ast_valid () =
+  let p = simple_program () in
+  Alcotest.(check int) "4 stmts" 4 (List.length p.stmts);
+  Alcotest.(check (list string))
+    "matrices" [ "A"; "B"; "C"; "D" ] (Ast.defined_matrices p)
+
+let test_ast_undefined_operand () =
+  Alcotest.check_raises "undefined"
+    (Invalid_argument "Ast.program: statement 0 reads undefined matrix X")
+    (fun () ->
+      ignore (Ast.program ~size:8 [ Ast.stmt "A" (Ast.Add ("X", "X")) ]))
+
+let test_ast_use_before_def () =
+  Alcotest.check_raises "use before def"
+    (Invalid_argument "Ast.program: statement 0 reads undefined matrix A")
+    (fun () ->
+      ignore
+        (Ast.program ~size:8
+           [ Ast.stmt "B" (Ast.Add ("A", "A")); Ast.stmt "A" Ast.Init ]))
+
+let test_ast_redefinition_allowed () =
+  (* A matrix may be overwritten; later reads see the latest writer. *)
+  let p =
+    Ast.program ~size:8
+      [
+        Ast.stmt "A" Ast.Init;
+        Ast.stmt "A" (Ast.Add ("A", "A"));
+        Ast.stmt "B" (Ast.Add ("A", "A"));
+      ]
+  in
+  let deps = Lower.flow_dependences p in
+  (* B reads the redefinition (stmt 1), not the init (stmt 0). *)
+  Alcotest.(check bool) "B depends on stmt 1" true
+    (List.exists (fun (w, r, m) -> w = 1 && r = 2 && m = "A") deps);
+  Alcotest.(check bool) "B does not depend on stmt 0" false
+    (List.exists (fun (w, r, _) -> w = 0 && r = 2) deps)
+
+let test_ast_kernels () =
+  let p = simple_program () in
+  Alcotest.(check bool) "init" true
+    (Ast.kernel_of_stmt ~size:32 (List.nth p.stmts 0) = G.Matrix_init 32);
+  Alcotest.(check bool) "mul" true
+    (Ast.kernel_of_stmt ~size:32 (List.nth p.stmts 2) = G.Matrix_multiply 32);
+  Alcotest.(check bool) "add" true
+    (Ast.kernel_of_stmt ~size:32 (List.nth p.stmts 3) = G.Matrix_add 32)
+
+(* ------------------------------------------------------------------ *)
+(* Parse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  let text = "size 16\nA = init\nB = init @col\nC = A * B\nD = C + C @col\n" in
+  let p = Parse.program_of_string text in
+  Alcotest.(check int) "size" 16 p.size;
+  Alcotest.(check int) "stmts" 4 (List.length p.stmts);
+  let s1 = List.nth p.stmts 1 in
+  Alcotest.(check bool) "col dist" true (s1.dist = Ast.Col);
+  let reprinted = Parse.program_to_string p in
+  let p2 = Parse.program_of_string reprinted in
+  Alcotest.(check bool) "roundtrip" true (p = p2)
+
+let test_parse_comments_blanks () =
+  let text = "# header\nsize 8\n\nA = init   # trailing comment\nB = A + A\n" in
+  let p = Parse.program_of_string text in
+  Alcotest.(check int) "2 stmts" 2 (List.length p.stmts)
+
+let test_parse_errors () =
+  let fails text =
+    try
+      ignore (Parse.program_of_string text);
+      false
+    with Parse.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "missing size" true (fails "A = init\n");
+  Alcotest.(check bool) "bad operator" true (fails "size 4\nA = init\nB = A / A\n");
+  Alcotest.(check bool) "bad size" true (fails "size zero\n");
+  Alcotest.(check bool) "bad dist" true (fails "size 4\nA = init @diag\n");
+  Alcotest.(check bool) "garbage" true (fails "size 4\nA = = =\n")
+
+let test_parse_undefined_becomes_invalid_arg () =
+  Alcotest.(check bool) "semantic error" true
+    (try
+       ignore (Parse.program_of_string "size 4\nB = A + A\n");
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Lower                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_lower_structure () =
+  let p = simple_program () in
+  let g, map = Lower.to_mdg p in
+  Alcotest.(check bool) "normalised" true (G.is_normalised g);
+  (* 4 statements + START/STOP as needed.  A and B are sources, D is
+     the only sink, so a START dummy is added: 4 + 1 START + 0 = ...
+     sinks: D only.  sources: A, B -> START added.  5 nodes + STOP? D
+     is the unique sink so no STOP. *)
+  Alcotest.(check int) "5 nodes" 5 (G.num_nodes g);
+  let c = map.node_of_stmt.(2) in
+  Alcotest.(check int) "C has 2 preds" 2 (List.length (G.preds g c))
+
+let test_lower_merges_operands () =
+  (* D = C + C reads the same matrix twice: one edge with doubled
+     bytes. *)
+  let p =
+    Ast.program ~size:16
+      [
+        Ast.stmt "A" Ast.Init;
+        Ast.stmt "C" (Ast.Mul ("A", "A"));
+        Ast.stmt "D" (Ast.Add ("C", "C"));
+      ]
+  in
+  let g, map = Lower.to_mdg p in
+  let edge =
+    G.edge_between g ~src:map.node_of_stmt.(1) ~dst:map.node_of_stmt.(2)
+  in
+  match edge with
+  | Some e ->
+      Alcotest.(check (float 0.0)) "doubled bytes" (2.0 *. 8.0 *. 256.0) e.bytes
+  | None -> Alcotest.fail "missing edge"
+
+let test_lower_transfer_kinds () =
+  let p =
+    Ast.program ~size:8
+      [
+        Ast.stmt ~dist:Ast.Row "A" Ast.Init;
+        Ast.stmt ~dist:Ast.Col "B" Ast.Init;
+        Ast.stmt ~dist:Ast.Row "C" (Ast.Add ("A", "A"));
+        Ast.stmt ~dist:Ast.Row "D" (Ast.Add ("B", "B"));
+      ]
+  in
+  let g, map = Lower.to_mdg p in
+  let kind src dst =
+    match G.edge_between g ~src:map.node_of_stmt.(src) ~dst:map.node_of_stmt.(dst) with
+    | Some e -> e.kind
+    | None -> Alcotest.fail "missing edge"
+  in
+  Alcotest.(check bool) "row->row is 1D" true (kind 0 2 = G.Oned);
+  Alcotest.(check bool) "col->row is 2D" true (kind 1 3 = G.Twod)
+
+let test_lower_kernels_dedup () =
+  let p = simple_program () in
+  let ks = Lower.kernels p in
+  Alcotest.(check int) "3 distinct kernels" 3 (List.length ks)
+
+let test_lower_dependence_list () =
+  let p = simple_program () in
+  let deps = Lower.flow_dependences p in
+  (* C reads A and B; D reads C and A. *)
+  Alcotest.(check int) "4 dependences" 4 (List.length deps);
+  Alcotest.(check bool) "0->2 A" true (List.mem (0, 2, "A") deps);
+  Alcotest.(check bool) "1->2 B" true (List.mem (1, 2, "B") deps);
+  Alcotest.(check bool) "2->3 C" true (List.mem (2, 3, "C") deps);
+  Alcotest.(check bool) "0->3 A" true (List.mem (0, 3, "A") deps)
+
+(* End to end: a front-end program goes through allocation, PSA and
+   simulation without errors. *)
+let test_lower_end_to_end () =
+  let p =
+    Ast.program ~size:64
+      [
+        Ast.stmt "A" Ast.Init;
+        Ast.stmt "B" Ast.Init;
+        Ast.stmt "C" (Ast.Mul ("A", "B"));
+        Ast.stmt "D" (Ast.Mul ("B", "A"));
+        Ast.stmt "E" (Ast.Add ("C", "D"));
+      ]
+  in
+  let g, _ = Lower.to_mdg p in
+  let gt = Machine.Ground_truth.cm5_like () in
+  let params, _, _ =
+    Machine.Measure.calibrate gt ~procs:[ 1; 2; 4; 8; 16 ] (Lower.kernels p)
+  in
+  let plan = Core.Pipeline.plan params g ~procs:16 in
+  let sim = Core.Pipeline.simulate gt plan in
+  Alcotest.(check bool) "simulation completes" true (sim.finish_time > 0.0);
+  Alcotest.(check bool) "prediction within 30%" true
+    (Float.abs (Core.Pipeline.predicted_time plan -. sim.finish_time)
+     /. sim.finish_time
+    < 0.3)
+
+let suite =
+  [
+    Alcotest.test_case "ast: valid program" `Quick test_ast_valid;
+    Alcotest.test_case "ast: undefined operand" `Quick test_ast_undefined_operand;
+    Alcotest.test_case "ast: use before definition" `Quick test_ast_use_before_def;
+    Alcotest.test_case "ast: redefinition uses last writer" `Quick
+      test_ast_redefinition_allowed;
+    Alcotest.test_case "ast: kernel mapping" `Quick test_ast_kernels;
+    Alcotest.test_case "parse: roundtrip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parse: comments and blanks" `Quick
+      test_parse_comments_blanks;
+    Alcotest.test_case "parse: syntax errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse: semantic errors propagate" `Quick
+      test_parse_undefined_becomes_invalid_arg;
+    Alcotest.test_case "lower: structure" `Quick test_lower_structure;
+    Alcotest.test_case "lower: operand merging" `Quick test_lower_merges_operands;
+    Alcotest.test_case "lower: transfer kinds" `Quick test_lower_transfer_kinds;
+    Alcotest.test_case "lower: kernel dedup" `Quick test_lower_kernels_dedup;
+    Alcotest.test_case "lower: dependence list" `Quick test_lower_dependence_list;
+    Alcotest.test_case "lower: end-to-end compile+simulate" `Slow
+      test_lower_end_to_end;
+  ]

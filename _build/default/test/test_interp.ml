@@ -1,0 +1,152 @@
+(* Semantic tests: the interpreter as ground truth for the optimiser
+   and the front end. *)
+
+open Frontend
+module Mat = Numeric.Mat
+
+let prog stmts = Ast.program ~size:8 stmts
+
+let test_interp_basic () =
+  let p =
+    prog
+      [
+        Ast.stmt "A" Ast.Init;
+        Ast.stmt "B" (Ast.Add ("A", "A"));
+        Ast.stmt "C" (Ast.Sub ("B", "A"));
+      ]
+  in
+  let finals = Interp.run ~seed:3 p in
+  let a = List.assoc "A" finals and c = List.assoc "C" finals in
+  (* C = 2A - A = A. *)
+  Alcotest.(check bool) "C = A" true (Mat.approx_equal ~eps:1e-12 a c)
+
+let test_interp_mul_matches_dense () =
+  let p =
+    prog
+      [
+        Ast.stmt "A" Ast.Init;
+        Ast.stmt "B" Ast.Init;
+        Ast.stmt "C" (Ast.Mul ("A", "B"));
+      ]
+  in
+  let finals = Interp.run ~seed:7 p in
+  let a = List.assoc "A" finals
+  and b = List.assoc "B" finals
+  and c = List.assoc "C" finals in
+  Alcotest.(check bool) "C = A*B" true
+    (Mat.approx_equal ~eps:1e-12 (Mat.matmul a b) c)
+
+let test_interp_init_stable_by_name () =
+  (* Re-initialising the same name yields identical data; the value is
+     independent of surrounding statements. *)
+  let p1 = prog [ Ast.stmt "A" Ast.Init ] in
+  let p2 = prog [ Ast.stmt "Z" Ast.Init; Ast.stmt "A" Ast.Init ] in
+  Alcotest.(check bool) "stable" true
+    (Mat.approx_equal
+       (List.assoc "A" (Interp.run ~seed:1 p1))
+       (List.assoc "A" (Interp.run ~seed:1 p2)))
+
+let test_interp_outputs () =
+  let p =
+    prog
+      [
+        Ast.stmt "A" Ast.Init;
+        Ast.stmt "B" (Ast.Add ("A", "A"));
+        Ast.stmt "C" (Ast.Mul ("B", "B"));
+      ]
+  in
+  (* Only C's final value is never read. *)
+  Alcotest.(check (list string)) "outputs" [ "C" ]
+    (List.map fst (Interp.outputs p))
+
+let test_equivalent_detects_difference () =
+  let p = prog [ Ast.stmt "A" Ast.Init; Ast.stmt "B" (Ast.Add ("A", "A")) ] in
+  let q = prog [ Ast.stmt "A" Ast.Init; Ast.stmt "B" (Ast.Mul ("A", "A")) ] in
+  Alcotest.(check bool) "different" false (Interp.equivalent ~on:[ "B" ] p q);
+  Alcotest.(check bool) "same" true (Interp.equivalent ~on:[ "A" ] p q)
+
+(* Random single-assignment program generator: operands drawn from
+   previously defined names, with deliberate duplicate right-hand sides
+   so CSE has work to do. *)
+let random_program_gen =
+  let open QCheck.Gen in
+  let* n_inits = int_range 1 3 in
+  let* n_ops = int_range 1 12 in
+  let* picks = list_size (return (3 * n_ops)) (int_range 0 1000) in
+  let picks = ref picks in
+  let next_pick bound =
+    match !picks with
+    | [] -> 0
+    | p :: rest ->
+        picks := rest;
+        p mod bound
+  in
+  let names = ref (List.init n_inits (fun i -> Printf.sprintf "I%d" i)) in
+  let stmts =
+    ref (List.init n_inits (fun i -> Ast.stmt (Printf.sprintf "I%d" i) Ast.Init))
+  in
+  for k = 0 to n_ops - 1 do
+    let pool = Array.of_list !names in
+    let a = pool.(next_pick (Array.length pool)) in
+    let b = pool.(next_pick (Array.length pool)) in
+    let rhs =
+      match next_pick 4 with
+      | 0 -> Ast.Add (a, b)
+      | 1 -> Ast.Sub (a, b)
+      | _ -> Ast.Mul (a, b)
+      (* Mul twice as likely: more CSE-able pairs. *)
+    in
+    let target = Printf.sprintf "T%d" k in
+    names := target :: !names;
+    stmts := Ast.stmt target rhs :: !stmts
+  done;
+  return (Ast.program ~size:4 (List.rev !stmts))
+
+let prop_optimise_preserves_outputs =
+  QCheck.Test.make ~name:"optimise preserves output values" ~count:100
+    (QCheck.make random_program_gen)
+    (fun p ->
+      let outs = Ast.outputs p in
+      let q = Opt.optimise p in
+      Interp.equivalent ~seed:11 ~eps:1e-9 ~on:outs p q)
+
+let prop_cse_preserves_all_final_values =
+  (* CSE alone keeps every name's final value (eliminated targets
+     resolve to their representatives at read sites; the names
+     themselves may vanish, so compare only names still defined). *)
+  QCheck.Test.make ~name:"CSE preserves surviving final values" ~count:100
+    (QCheck.make random_program_gen)
+    (fun p ->
+      let q = Opt.common_subexpressions p in
+      let survivors = Ast.defined_matrices q in
+      Interp.equivalent ~seed:5 ~eps:1e-9 ~on:survivors p q)
+
+let prop_dce_only_removes =
+  QCheck.Test.make ~name:"DCE result is a subsequence of the input" ~count:100
+    (QCheck.make random_program_gen)
+    (fun p ->
+      let q = Opt.dead_code_elimination p in
+      let rec subseq xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs', y :: ys' ->
+            if x = y then subseq xs' ys' else subseq xs ys'
+      in
+      subseq q.Ast.stmts p.Ast.stmts
+      && Interp.equivalent ~seed:2 ~on:(Ast.outputs p) p q)
+
+let suite =
+  [
+    Alcotest.test_case "interp: arithmetic identities" `Quick test_interp_basic;
+    Alcotest.test_case "interp: matmul agrees with Mat" `Quick
+      test_interp_mul_matches_dense;
+    Alcotest.test_case "interp: init stable by name" `Quick
+      test_interp_init_stable_by_name;
+    Alcotest.test_case "interp: outputs" `Quick test_interp_outputs;
+    Alcotest.test_case "interp: equivalence check" `Quick
+      test_equivalent_detects_difference;
+    QCheck_alcotest.to_alcotest prop_optimise_preserves_outputs;
+    QCheck_alcotest.to_alcotest prop_cse_preserves_all_final_values;
+    QCheck_alcotest.to_alcotest prop_dce_only_removes;
+  ]

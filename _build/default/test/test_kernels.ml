@@ -1,0 +1,255 @@
+(* Tests for the kernels library: dense numerics and the paper's MDG
+   builders. *)
+
+module G = Mdg.Graph
+module Mat = Numeric.Mat
+module D = Kernels.Dense
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Dense                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_quadrants_roundtrip () =
+  let m = D.random_matrix ~seed:3 8 in
+  let a11, a12, a21, a22 = D.quadrants m in
+  Alcotest.(check bool) "assemble inverts quadrants" true
+    (Mat.approx_equal (D.assemble a11 a12 a21 a22) m)
+
+let test_strassen_one_level_matches_naive () =
+  List.iter
+    (fun n ->
+      let a = D.random_matrix ~seed:n n in
+      let b = D.random_matrix ~seed:(n + 100) n in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d" n)
+        true
+        (Mat.approx_equal ~eps:1e-10
+           (D.strassen_one_level a b)
+           (Mat.matmul a b)))
+    [ 2; 4; 16; 32 ]
+
+let test_strassen_recursive_matches_naive () =
+  let n = 64 in
+  let a = D.random_matrix ~seed:1 n in
+  let b = D.random_matrix ~seed:2 n in
+  Alcotest.(check bool) "full recursion" true
+    (Mat.approx_equal ~eps:1e-9 (D.strassen ~threshold:8 a b) (Mat.matmul a b))
+
+let test_strassen_rejects_bad_inputs () =
+  let a = Mat.create 3 3 1.0 in
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Dense.strassen: size not a power of two") (fun () ->
+      ignore (D.strassen a a));
+  let b = Mat.create 2 3 1.0 in
+  Alcotest.check_raises "not square"
+    (Invalid_argument "Dense.strassen: matrix not square") (fun () ->
+      ignore (D.strassen b b))
+
+let test_complex_matmul_matches_direct () =
+  let n = 8 in
+  let a = { D.re = D.random_matrix ~seed:10 n; im = D.random_matrix ~seed:11 n } in
+  let b = { D.re = D.random_matrix ~seed:12 n; im = D.random_matrix ~seed:13 n } in
+  let via = D.complex_matmul a b in
+  let direct = D.complex_matmul_direct a b in
+  Alcotest.(check bool) "re" true (Mat.approx_equal ~eps:1e-10 via.re direct.re);
+  Alcotest.(check bool) "im" true (Mat.approx_equal ~eps:1e-10 via.im direct.im)
+
+let test_complex_identity () =
+  (* (I + 0i)(B_re + iB_im) = B. *)
+  let n = 4 in
+  let i = { D.re = Mat.identity n; im = Mat.create n n 0.0 } in
+  let b = { D.re = D.random_matrix ~seed:5 n; im = D.random_matrix ~seed:6 n } in
+  let c = D.complex_matmul i b in
+  Alcotest.(check bool) "re" true (Mat.approx_equal c.re b.re);
+  Alcotest.(check bool) "im" true (Mat.approx_equal c.im b.im)
+
+let test_random_matrix_deterministic () =
+  let a = D.random_matrix ~seed:42 6 and b = D.random_matrix ~seed:42 6 in
+  Alcotest.(check bool) "same seed same matrix" true (Mat.approx_equal a b);
+  let c = D.random_matrix ~seed:43 6 in
+  Alcotest.(check bool) "different seed different matrix" false
+    (Mat.approx_equal a c);
+  (* Entries in [-1, 1]. *)
+  let ok = ref true in
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      let v = Mat.get a i j in
+      if v < -1.0 || v > 1.0 then ok := false
+    done
+  done;
+  Alcotest.(check bool) "range" true !ok
+
+let prop_strassen_random_sizes =
+  QCheck.Test.make ~name:"one-level Strassen == naive on random seeds" ~count:25
+    QCheck.(pair (int_range 0 1000) (int_range 1 4))
+    (fun (seed, log_n) ->
+      let n = 2 lsl log_n in
+      let a = D.random_matrix ~seed n in
+      let b = D.random_matrix ~seed:(seed + 1) n in
+      Mat.approx_equal ~eps:1e-9 (D.strassen_one_level a b) (Mat.matmul a b))
+
+(* ------------------------------------------------------------------ *)
+(* Example MDG (Figure 1)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_example_reproduces_paper_numbers () =
+  (* The numbers quoted in the paper's Section 1.2. *)
+  check_close ~eps:0.05 "naive 15.6 s" 15.6
+    (Kernels.Example_mdg.naive_finish_time ~procs:4);
+  check_close ~eps:0.05 "mixed 14.3 s" 14.3
+    (Kernels.Example_mdg.mixed_finish_time ~procs:4)
+
+let test_example_structure () =
+  let g = Kernels.Example_mdg.graph () in
+  Alcotest.(check bool) "normalised" true (G.is_normalised g);
+  Alcotest.(check int) "4 nodes (3 + STOP)" 4 (G.num_nodes g);
+  Alcotest.(check int) "N1 feeds two" 2
+    (List.length (G.succs g Kernels.Example_mdg.n1))
+
+let test_example_mixed_beats_naive () =
+  List.iter
+    (fun procs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%d" procs)
+        true
+        (Kernels.Example_mdg.mixed_finish_time ~procs
+        < Kernels.Example_mdg.naive_finish_time ~procs))
+    [ 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Complex MM MDG (Figure 6 left)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_complex_mm_structure () =
+  let g, ids = Kernels.Complex_mm.graph ~n:64 () in
+  Alcotest.(check bool) "normalised" true (G.is_normalised g);
+  (* 10 real nodes + START + STOP. *)
+  Alcotest.(check int) "12 nodes" 12 (G.num_nodes g);
+  (* The four multiplies are mutually independent. *)
+  let r = Mdg.Analysis.reachable g ids.mul_ac in
+  Alcotest.(check bool) "muls independent" false r.(ids.mul_bd);
+  (* Each multiply consumes two operands. *)
+  List.iter
+    (fun m -> Alcotest.(check int) "2 operands" 2 (List.length (G.preds g m)))
+    [ ids.mul_ac; ids.mul_bd; ids.mul_ad; ids.mul_bc ];
+  (* Both adds consume two products. *)
+  List.iter
+    (fun a -> Alcotest.(check int) "2 products" 2 (List.length (G.preds g a)))
+    [ ids.add_re; ids.add_im ];
+  (* All transfers 1D with 8*64*64 bytes (paper: only 1D transfers). *)
+  List.iter
+    (fun (e : G.edge) ->
+      if (G.node g e.src).kernel <> G.Dummy && (G.node g e.dst).kernel <> G.Dummy
+      then begin
+        Alcotest.(check bool) "1D" true (e.kind = G.Oned);
+        check_close "bytes" 32768.0 e.bytes
+      end)
+    (G.edges g)
+
+let test_complex_mm_kernels () =
+  Alcotest.(check int) "3 kernels" 3
+    (List.length (Kernels.Complex_mm.kernels ~n:64));
+  Alcotest.(check bool) "numerics" true
+    (Kernels.Complex_mm.verify_numerics ~n:8 ~seed:99)
+
+(* ------------------------------------------------------------------ *)
+(* Strassen MDG (Figure 6 right)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_strassen_mdg_structure () =
+  let g, ids = Kernels.Strassen_mdg.graph ~n:128 () in
+  Alcotest.(check bool) "normalised" true (G.is_normalised g);
+  (* 2 + 10 + 7 + 8 = 27 real nodes + START + STOP. *)
+  Alcotest.(check int) "29 nodes" 29 (G.num_nodes g);
+  Alcotest.(check int) "10 pre-adds" 10 (Array.length ids.pre_adds);
+  Alcotest.(check int) "7 muls" 7 (Array.length ids.muls);
+  Alcotest.(check int) "8 post-adds" 8 (Array.length ids.post_adds);
+  (* Multiplies are 64x64 and mutually independent. *)
+  Array.iter
+    (fun m ->
+      Alcotest.(check bool) "mul kernel" true
+        ((G.node g m).kernel = G.Matrix_multiply 64))
+    ids.muls;
+  let r = Mdg.Analysis.reachable g ids.muls.(0) in
+  Array.iteri
+    (fun k m ->
+      if k > 0 then Alcotest.(check bool) "independent" false r.(m))
+    ids.muls;
+  (* Each multiply has exactly two operand edges. *)
+  Array.iter
+    (fun m -> Alcotest.(check int) "2 operands" 2 (List.length (G.preds g m)))
+    ids.muls
+
+let test_strassen_mdg_numerics () =
+  Alcotest.(check bool) "numerics" true
+    (Kernels.Strassen_mdg.verify_numerics ~n:16 ~seed:3)
+
+let test_strassen_mdg_rejects_odd () =
+  Alcotest.check_raises "odd"
+    (Invalid_argument "Strassen_mdg.graph: n must be even and >= 2") (fun () ->
+      ignore (Kernels.Strassen_mdg.graph ~n:3 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_chain () =
+  let g = Kernels.Workloads.chain ~length:5 ~tau:1.0 ~alpha:0.1 ~bytes:100.0 in
+  Alcotest.(check int) "depth = length" 5 (Mdg.Analysis.depth g);
+  Alcotest.(check int) "width 1" 1 (Mdg.Analysis.max_width g)
+
+let test_workload_fork_join () =
+  let g = Kernels.Workloads.fork_join ~branches:6 ~tau:1.0 ~alpha:0.1 ~bytes:10.0 in
+  Alcotest.(check int) "width = branches" 6 (Mdg.Analysis.max_width g);
+  Alcotest.(check int) "depth 3" 3 (Mdg.Analysis.depth g)
+
+let test_workload_independent () =
+  let g = Kernels.Workloads.fully_independent ~count:7 ~tau:1.0 ~alpha:0.0 in
+  Alcotest.(check int) "9 nodes with dummies" 9 (G.num_nodes g);
+  Alcotest.(check int) "width 7" 7 (Mdg.Analysis.max_width g)
+
+let test_workload_deterministic () =
+  let shape = Kernels.Workloads.default_shape in
+  let g1 = Kernels.Workloads.random_layered ~seed:11 shape in
+  let g2 = Kernels.Workloads.random_layered ~seed:11 shape in
+  Alcotest.(check int) "same node count" (G.num_nodes g1) (G.num_nodes g2);
+  Alcotest.(check int) "same edge count"
+    (List.length (G.edges g1))
+    (List.length (G.edges g2))
+
+let suite =
+  [
+    Alcotest.test_case "quadrants/assemble roundtrip" `Quick
+      test_quadrants_roundtrip;
+    Alcotest.test_case "one-level Strassen == naive" `Quick
+      test_strassen_one_level_matches_naive;
+    Alcotest.test_case "recursive Strassen == naive" `Quick
+      test_strassen_recursive_matches_naive;
+    Alcotest.test_case "Strassen input validation" `Quick
+      test_strassen_rejects_bad_inputs;
+    Alcotest.test_case "complex matmul == direct" `Quick
+      test_complex_matmul_matches_direct;
+    Alcotest.test_case "complex identity" `Quick test_complex_identity;
+    Alcotest.test_case "random matrix deterministic" `Quick
+      test_random_matrix_deterministic;
+    QCheck_alcotest.to_alcotest prop_strassen_random_sizes;
+    Alcotest.test_case "example: paper's 15.6/14.3 numbers" `Quick
+      test_example_reproduces_paper_numbers;
+    Alcotest.test_case "example: structure" `Quick test_example_structure;
+    Alcotest.test_case "example: mixed beats naive" `Quick
+      test_example_mixed_beats_naive;
+    Alcotest.test_case "complex-mm MDG structure" `Quick test_complex_mm_structure;
+    Alcotest.test_case "complex-mm kernels + numerics" `Quick
+      test_complex_mm_kernels;
+    Alcotest.test_case "strassen MDG structure" `Quick test_strassen_mdg_structure;
+    Alcotest.test_case "strassen MDG numerics" `Quick test_strassen_mdg_numerics;
+    Alcotest.test_case "strassen MDG rejects odd sizes" `Quick
+      test_strassen_mdg_rejects_odd;
+    Alcotest.test_case "workload: chain" `Quick test_workload_chain;
+    Alcotest.test_case "workload: fork/join" `Quick test_workload_fork_join;
+    Alcotest.test_case "workload: independent" `Quick test_workload_independent;
+    Alcotest.test_case "workload: deterministic" `Quick test_workload_deterministic;
+  ]

@@ -1,0 +1,436 @@
+(* Tests for the machine substrate: event queue, ground truth, message
+   plans, programs, the discrete-event simulator and the measurement
+   harness. *)
+
+module G = Mdg.Graph
+module M = Machine
+module GT = Machine.Ground_truth
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Event queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_eq_ordering () =
+  let q = M.Event_queue.create () in
+  M.Event_queue.push q ~time:3.0 "c";
+  M.Event_queue.push q ~time:1.0 "a";
+  M.Event_queue.push q ~time:2.0 "b";
+  Alcotest.(check int) "length" 3 (M.Event_queue.length q);
+  Alcotest.(check (option (float 0.0))) "peek" (Some 1.0) (M.Event_queue.peek_time q);
+  let order = List.init 3 (fun _ -> M.Event_queue.pop q) in
+  Alcotest.(check (list (option (pair (float 0.0) string))))
+    "sorted"
+    [ Some (1.0, "a"); Some (2.0, "b"); Some (3.0, "c") ]
+    order;
+  Alcotest.(check bool) "empty" true (M.Event_queue.is_empty q)
+
+let test_eq_fifo_ties () =
+  let q = M.Event_queue.create () in
+  M.Event_queue.push q ~time:1.0 "first";
+  M.Event_queue.push q ~time:1.0 "second";
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "tie keeps insertion order" (Some (1.0, "first")) (M.Event_queue.pop q)
+
+let test_eq_many () =
+  (* Heap property under a pseudo-random workload. *)
+  let q = M.Event_queue.create () in
+  let x = ref 12345 in
+  for _ = 1 to 500 do
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+    M.Event_queue.push q ~time:(float_of_int (!x mod 1000)) ()
+  done;
+  let prev = ref neg_infinity in
+  for _ = 1 to 500 do
+    match M.Event_queue.pop q with
+    | Some (t, ()) ->
+        Alcotest.(check bool) "nondecreasing" true (t >= !prev);
+        prev := t
+    | None -> Alcotest.fail "queue exhausted early"
+  done
+
+let test_eq_rejects_bad_time () =
+  let q = M.Event_queue.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Event_queue.push: bad time")
+    (fun () -> M.Event_queue.push q ~time:(-1.0) ())
+
+(* ------------------------------------------------------------------ *)
+(* Ground truth                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_gt_serial_times_match_paper () =
+  let gt = GT.cm5_like () in
+  (* tau(add 64) ~ 3.73 ms, tau(mul 64) ~ 298.47 ms (Table 1). *)
+  check_close ~eps:0.2e-3 "add tau" 3.73e-3
+    (GT.kernel_serial_time gt (G.Matrix_add 64));
+  check_close ~eps:2e-3 "mul tau" 298.47e-3
+    (GT.kernel_serial_time gt (G.Matrix_multiply 64))
+
+let test_gt_kernel_monotone () =
+  let gt = GT.cm5_like () in
+  List.iter
+    (fun kernel ->
+      let t1 = GT.kernel_time gt kernel ~procs:1 in
+      let t64 = GT.kernel_time gt kernel ~procs:64 in
+      Alcotest.(check bool) "faster on 64" true (t64 < t1))
+    [ G.Matrix_add 64; G.Matrix_multiply 64; G.Matrix_init 128 ]
+
+let test_gt_synthetic_exact_amdahl () =
+  let gt = GT.cm5_like () in
+  let k = G.Synthetic { alpha = 0.25; tau = 8.0 } in
+  check_close "p=1" 8.0 (GT.kernel_time gt k ~procs:1);
+  check_close "p=4" (8.0 *. (0.25 +. (0.75 /. 4.0))) (GT.kernel_time gt k ~procs:4)
+
+let test_gt_dummy_free () =
+  let gt = GT.cm5_like () in
+  check_close "dummy" 0.0 (GT.kernel_time gt G.Dummy ~procs:16)
+
+let test_gt_perturbations_vs_ideal () =
+  (* The cm5_like machine deviates from pure Amdahl; ideal does not. *)
+  let real = GT.cm5_like () and ideal = GT.ideal () in
+  let k = G.Matrix_multiply 64 in
+  let t_real = GT.kernel_time real k ~procs:64 in
+  let t_ideal = GT.kernel_time ideal k ~procs:64 in
+  Alcotest.(check bool) "real slower at scale (sync overhead)" true
+    (t_real > t_ideal);
+  (* but within 25%: the perturbation is second-order. *)
+  Alcotest.(check bool) "perturbation bounded" true
+    (t_real /. t_ideal < 1.25)
+
+let test_gt_message_costs () =
+  let gt = GT.ideal () in
+  let tr = Costmodel.Params.cm5_transfer in
+  check_close "send" (tr.t_ss +. (1000.0 *. tr.t_ps)) (GT.send_busy gt ~bytes:1000.0);
+  check_close "recv" (tr.t_sr +. (1000.0 *. tr.t_pr)) (GT.recv_busy gt ~bytes:1000.0);
+  check_close "net (ideal)" 0.0 (GT.net_delay gt ~bytes:1000.0);
+  let real = GT.cm5_like () in
+  Alcotest.(check bool) "packetisation adds cost" true
+    (GT.send_busy real ~bytes:8192.0
+    > GT.send_busy real ~bytes:1.0 +. (8191.0 *. 485e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Transfer plans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let procs a b = (Array.init a Fun.id, Array.init b (fun i -> a + i))
+
+let test_plan_1d_equal () =
+  let senders, receivers = procs 4 4 in
+  let msgs = M.Transfer_plan.messages ~kind:G.Oned ~bytes:4096.0 ~senders ~receivers in
+  Alcotest.(check int) "4 messages" 4 (List.length msgs);
+  Alcotest.(check bool) "conserves" true
+    (M.Transfer_plan.conserves_bytes ~bytes:4096.0 msgs);
+  List.iter
+    (fun (m : M.Transfer_plan.message) ->
+      check_close "each 1024" 1024.0 m.bytes;
+      Alcotest.(check int) "aligned pairs" m.src_proc (m.dst_proc - 4))
+    msgs
+
+let test_plan_1d_expand () =
+  (* 2 senders -> 8 receivers: 8 messages, 4 per sender. *)
+  let senders, receivers = procs 2 8 in
+  let msgs = M.Transfer_plan.messages ~kind:G.Oned ~bytes:8192.0 ~senders ~receivers in
+  Alcotest.(check int) "8 messages" 8 (List.length msgs);
+  Alcotest.(check int) "per sender" 4 (M.Transfer_plan.max_messages_per_sender msgs);
+  Alcotest.(check bool) "conserves" true
+    (M.Transfer_plan.conserves_bytes ~bytes:8192.0 msgs)
+
+let test_plan_1d_contract () =
+  (* 8 senders -> 2 receivers: 8 messages of L/8. *)
+  let senders, receivers = procs 8 2 in
+  let msgs = M.Transfer_plan.messages ~kind:G.Oned ~bytes:8192.0 ~senders ~receivers in
+  Alcotest.(check int) "8 messages" 8 (List.length msgs);
+  List.iter (fun (m : M.Transfer_plan.message) -> check_close "1024" 1024.0 m.bytes) msgs
+
+let test_plan_1d_nonaligned () =
+  (* 3 senders -> 2 receivers: boundary at 1/2 cuts sender 1's block. *)
+  let senders, receivers = procs 3 2 in
+  let msgs = M.Transfer_plan.messages ~kind:G.Oned ~bytes:600.0 ~senders ~receivers in
+  Alcotest.(check int) "4 messages" 4 (List.length msgs);
+  Alcotest.(check bool) "conserves" true
+    (M.Transfer_plan.conserves_bytes ~bytes:600.0 msgs)
+
+let test_plan_2d () =
+  let senders, receivers = procs 3 5 in
+  let msgs = M.Transfer_plan.messages ~kind:G.Twod ~bytes:1500.0 ~senders ~receivers in
+  Alcotest.(check int) "all-to-all" 15 (List.length msgs);
+  List.iter (fun (m : M.Transfer_plan.message) -> check_close "100 each" 100.0 m.bytes) msgs
+
+let test_plan_zero_bytes () =
+  let senders, receivers = procs 2 2 in
+  Alcotest.(check int) "no messages" 0
+    (List.length (M.Transfer_plan.messages ~kind:G.Oned ~bytes:0.0 ~senders ~receivers))
+
+let prop_plan_conserves =
+  QCheck.Test.make ~name:"transfer plans conserve bytes" ~count:200
+    QCheck.(triple (int_range 1 16) (int_range 1 16) (float_range 1.0 1e6))
+    (fun (pi, pj, bytes) ->
+      let senders, receivers = procs pi pj in
+      List.for_all
+        (fun kind ->
+          let msgs = M.Transfer_plan.messages ~kind ~bytes ~senders ~receivers in
+          M.Transfer_plan.conserves_bytes ~bytes msgs
+          && List.for_all (fun (m : M.Transfer_plan.message) -> m.bytes > 0.0) msgs)
+        [ G.Oned; G.Twod ])
+
+(* For power-of-two processor sets the 1D plan has exactly max(pi,pj)
+   messages, as the paper's cost model assumes. *)
+let prop_plan_1d_pow2_message_count =
+  QCheck.Test.make ~name:"1D plans have max(pi,pj) messages on powers of two"
+    ~count:100
+    QCheck.(pair (int_range 0 5) (int_range 0 5))
+    (fun (a, b) ->
+      let pi = 1 lsl a and pj = 1 lsl b in
+      let senders, receivers = procs pi pj in
+      let msgs =
+        M.Transfer_plan.messages ~kind:G.Oned ~bytes:65536.0 ~senders ~receivers
+      in
+      List.length msgs = Int.max pi pj)
+
+(* ------------------------------------------------------------------ *)
+(* Program + Sim                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_program_validation () =
+  Alcotest.check_raises "bad dst"
+    (Invalid_argument "Program.make: Send names a processor outside the machine")
+    (fun () ->
+      ignore
+        (M.Program.make ~procs:2
+           [| [ M.Program.Send { edge = 0; dst_proc = 5; bytes = 1.0 } ]; [] |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Program.make: code length does not match procs") (fun () ->
+      ignore (M.Program.make ~procs:2 [| [] |]))
+
+let test_sim_compute_only () =
+  let gt = GT.ideal () in
+  let prog =
+    M.Program.make ~procs:2
+      [|
+        [ M.Program.Compute { node = 0; seconds = 2.0 } ];
+        [ M.Program.Compute { node = 1; seconds = 3.0 } ];
+      |]
+  in
+  let r = M.Sim.run gt prog in
+  check_close "finish" 3.0 r.finish_time;
+  check_close "p0 busy" 2.0 r.busy.(0);
+  check_close "p1 busy" 3.0 r.busy.(1);
+  check_close "utilisation" (5.0 /. 6.0) (M.Sim.utilisation r)
+
+let test_sim_send_recv () =
+  let gt = GT.ideal () in
+  let bytes = 1000.0 in
+  let prog =
+    M.Program.make ~procs:2
+      [|
+        [ M.Program.Send { edge = 7; dst_proc = 1; bytes } ];
+        [ M.Program.Recv { edge = 7; src_proc = 0; bytes } ];
+      |]
+  in
+  let r = M.Sim.run gt prog in
+  let send_t = GT.send_busy gt ~bytes and recv_t = GT.recv_busy gt ~bytes in
+  check_close "finish = send + recv" (send_t +. recv_t) r.finish_time;
+  Alcotest.(check int) "one message" 1 r.messages_delivered;
+  (* Receiver waited for the send. *)
+  let waited =
+    List.exists
+      (fun (s : M.Sim.segment) ->
+        match s.activity with M.Sim.Waiting 7 -> s.proc = 1 | _ -> false)
+      r.segments
+  in
+  Alcotest.(check bool) "waiting recorded" true waited
+
+let test_sim_recv_before_send_ok () =
+  (* Receiver posts first and blocks; no deadlock. *)
+  let gt = GT.ideal () in
+  let prog =
+    M.Program.make ~procs:2
+      [|
+        [
+          M.Program.Compute { node = 0; seconds = 1.0 };
+          M.Program.Send { edge = 0; dst_proc = 1; bytes = 100.0 };
+        ];
+        [ M.Program.Recv { edge = 0; src_proc = 0; bytes = 100.0 } ];
+      |]
+  in
+  let r = M.Sim.run gt prog in
+  Alcotest.(check bool) "receiver finished after 1s" true (r.proc_finish.(1) > 1.0)
+
+let test_sim_message_order_independent () =
+  (* Two messages on different edges arrive; recvs posted in the other
+     order still match by (edge, src). *)
+  let gt = GT.ideal () in
+  let prog =
+    M.Program.make ~procs:3
+      [|
+        [ M.Program.Send { edge = 0; dst_proc = 2; bytes = 10.0 } ];
+        [
+          M.Program.Compute { node = 9; seconds = 0.5 };
+          M.Program.Send { edge = 1; dst_proc = 2; bytes = 10.0 };
+        ];
+        [
+          (* Waits for the *later* message first. *)
+          M.Program.Recv { edge = 1; src_proc = 1; bytes = 10.0 };
+          M.Program.Recv { edge = 0; src_proc = 0; bytes = 10.0 };
+        ];
+      |]
+  in
+  let r = M.Sim.run gt prog in
+  Alcotest.(check int) "both delivered" 2 r.messages_delivered
+
+let test_sim_local_copy_cheap () =
+  let gt = GT.ideal () in
+  let bytes = 1e6 in
+  let prog =
+    M.Program.make ~procs:1
+      [|
+        [
+          M.Program.Send { edge = 0; dst_proc = 0; bytes };
+          M.Program.Recv { edge = 0; src_proc = 0; bytes };
+        ];
+      |]
+  in
+  let r = M.Sim.run gt prog in
+  Alcotest.(check bool) "local copy far cheaper than a real send" true
+    (r.finish_time < GT.send_busy gt ~bytes /. 100.0)
+
+let test_sim_deadlock_detected () =
+  let gt = GT.ideal () in
+  let prog =
+    M.Program.make ~procs:2
+      [| [ M.Program.Recv { edge = 0; src_proc = 1; bytes = 1.0 } ]; [] |]
+  in
+  Alcotest.(check bool) "deadlock raised" true
+    (try
+       ignore (M.Sim.run gt prog);
+       false
+     with M.Sim.Deadlock _ -> true)
+
+let test_sim_fifo_same_stream () =
+  (* Two messages on the same (edge, src, dst) stream: FIFO matching. *)
+  let gt = GT.ideal () in
+  let prog =
+    M.Program.make ~procs:2
+      [|
+        [
+          M.Program.Send { edge = 0; dst_proc = 1; bytes = 10.0 };
+          M.Program.Send { edge = 0; dst_proc = 1; bytes = 20.0 };
+        ];
+        [
+          M.Program.Recv { edge = 0; src_proc = 0; bytes = 10.0 };
+          M.Program.Recv { edge = 0; src_proc = 0; bytes = 20.0 };
+        ];
+      |]
+  in
+  let r = M.Sim.run gt prog in
+  Alcotest.(check int) "two messages" 2 r.messages_delivered
+
+let test_sim_node_spans () =
+  let gt = GT.ideal () in
+  let prog =
+    M.Program.make ~procs:2
+      [|
+        [ M.Program.Compute { node = 5; seconds = 1.0 } ];
+        [ M.Program.Compute { node = 5; seconds = 2.0 } ];
+      |]
+  in
+  let r = M.Sim.run gt prog in
+  match M.Sim.node_spans r with
+  | [ (5, (start, finish)) ] ->
+      check_close "start" 0.0 start;
+      check_close "finish" 2.0 finish
+  | _ -> Alcotest.fail "expected one span"
+
+(* ------------------------------------------------------------------ *)
+(* Measure                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_measure_transfer_matches_model_on_ideal () =
+  let gt = GT.ideal () in
+  let tr = Costmodel.Params.cm5_transfer in
+  List.iter
+    (fun (kind, pi, pj) ->
+      let bytes = 32768.0 in
+      let m = M.Measure.measure_transfer gt ~kind ~p_send:pi ~p_recv:pj ~bytes in
+      let c =
+        Costmodel.Transfer.components tr ~kind ~bytes ~p_send:(float_of_int pi)
+          ~p_recv:(float_of_int pj)
+      in
+      check_close ~eps:1e-9 "send" c.send m.send;
+      check_close ~eps:1e-9 "recv" c.receive m.receive)
+    [ (G.Oned, 4, 4); (G.Oned, 2, 8); (G.Oned, 8, 2); (G.Twod, 2, 4) ]
+
+let test_measure_kernel_sweep () =
+  let gt = GT.cm5_like () in
+  let sweep = M.Measure.kernel_sweep gt (G.Matrix_add 64) ~procs:[ 1; 2; 4 ] in
+  Alcotest.(check int) "3 samples" 3 (List.length sweep);
+  let t1 = List.assoc 1 sweep and t4 = List.assoc 4 sweep in
+  Alcotest.(check bool) "speedup" true (t4 < t1)
+
+let test_calibrate_cm5_close_to_paper () =
+  (* Against the perturbed machine the fitted constants land near the
+     paper's Tables 1-2 (within a few percent). *)
+  let gt = GT.cm5_like () in
+  let params, _, tf =
+    M.Measure.calibrate gt
+      ~procs:[ 1; 2; 4; 8; 16; 32; 64 ]
+      [ G.Matrix_add 64; G.Matrix_multiply 64 ]
+  in
+  let tr = Costmodel.Params.cm5_transfer in
+  let within pct a b = Float.abs (a -. b) <= pct *. b in
+  Alcotest.(check bool) "t_ss ~ paper" true (within 0.05 tf.params.t_ss tr.t_ss);
+  Alcotest.(check bool) "t_ps ~ paper" true (within 0.05 tf.params.t_ps tr.t_ps);
+  Alcotest.(check bool) "t_sr ~ paper" true (within 0.05 tf.params.t_sr tr.t_sr);
+  Alcotest.(check bool) "t_pr ~ paper" true (within 0.05 tf.params.t_pr tr.t_pr);
+  let add = Costmodel.Params.processing params (G.Matrix_add 64) in
+  let mul = Costmodel.Params.processing params (G.Matrix_multiply 64) in
+  Alcotest.(check bool) "add tau ~ 3.73ms" true (within 0.05 add.tau 3.73e-3);
+  Alcotest.(check bool) "mul tau ~ 298.47ms" true (within 0.05 mul.tau 298.47e-3);
+  Alcotest.(check bool) "add alpha ~ 6.7%" true (Float.abs (add.alpha -. 0.067) < 0.03);
+  Alcotest.(check bool) "mul alpha ~ 12.1%" true (Float.abs (mul.alpha -. 0.121) < 0.03)
+
+let suite =
+  [
+    Alcotest.test_case "event queue ordering" `Quick test_eq_ordering;
+    Alcotest.test_case "event queue FIFO ties" `Quick test_eq_fifo_ties;
+    Alcotest.test_case "event queue heap property" `Quick test_eq_many;
+    Alcotest.test_case "event queue rejects bad times" `Quick
+      test_eq_rejects_bad_time;
+    Alcotest.test_case "ground truth serial times (Table 1)" `Quick
+      test_gt_serial_times_match_paper;
+    Alcotest.test_case "ground truth kernels speed up" `Quick
+      test_gt_kernel_monotone;
+    Alcotest.test_case "ground truth synthetic exact" `Quick
+      test_gt_synthetic_exact_amdahl;
+    Alcotest.test_case "ground truth dummy free" `Quick test_gt_dummy_free;
+    Alcotest.test_case "ground truth perturbations bounded" `Quick
+      test_gt_perturbations_vs_ideal;
+    Alcotest.test_case "ground truth message costs" `Quick test_gt_message_costs;
+    Alcotest.test_case "plan: 1D equal counts" `Quick test_plan_1d_equal;
+    Alcotest.test_case "plan: 1D expanding" `Quick test_plan_1d_expand;
+    Alcotest.test_case "plan: 1D contracting" `Quick test_plan_1d_contract;
+    Alcotest.test_case "plan: 1D non-aligned" `Quick test_plan_1d_nonaligned;
+    Alcotest.test_case "plan: 2D all-to-all" `Quick test_plan_2d;
+    Alcotest.test_case "plan: zero bytes" `Quick test_plan_zero_bytes;
+    QCheck_alcotest.to_alcotest prop_plan_conserves;
+    QCheck_alcotest.to_alcotest prop_plan_1d_pow2_message_count;
+    Alcotest.test_case "program validation" `Quick test_program_validation;
+    Alcotest.test_case "sim: compute only" `Quick test_sim_compute_only;
+    Alcotest.test_case "sim: send/recv handshake" `Quick test_sim_send_recv;
+    Alcotest.test_case "sim: recv posted before send" `Quick
+      test_sim_recv_before_send_ok;
+    Alcotest.test_case "sim: out-of-order recv matching" `Quick
+      test_sim_message_order_independent;
+    Alcotest.test_case "sim: local copies are cheap" `Quick
+      test_sim_local_copy_cheap;
+    Alcotest.test_case "sim: deadlock detection" `Quick test_sim_deadlock_detected;
+    Alcotest.test_case "sim: FIFO within a stream" `Quick test_sim_fifo_same_stream;
+    Alcotest.test_case "sim: node spans" `Quick test_sim_node_spans;
+    Alcotest.test_case "measure: ideal transfers match model" `Quick
+      test_measure_transfer_matches_model_on_ideal;
+    Alcotest.test_case "measure: kernel sweep" `Quick test_measure_kernel_sweep;
+    Alcotest.test_case "measure: calibration reproduces Tables 1-2" `Slow
+      test_calibrate_cm5_close_to_paper;
+  ]

@@ -1,0 +1,20 @@
+(* Aggregates every suite into one alcotest binary (dune runtest). *)
+
+let () =
+  Alcotest.run "paradigm-repro"
+    [
+      ("numeric", Test_numeric.suite);
+      ("convex", Test_convex.suite);
+      ("mdg", Test_mdg.suite);
+      ("costmodel", Test_costmodel.suite);
+      ("machine", Test_machine.suite);
+      ("kernels", Test_kernels.suite);
+      ("frontend", Test_frontend.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("network", Test_network.suite);
+      ("extensions2", Test_extensions2.suite);
+      ("interp", Test_interp.suite);
+      ("expand", Test_expand.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,250 @@
+(* Tests for the interconnect topology models and the software
+   collectives. *)
+
+module M = Machine
+module GT = Machine.Ground_truth
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let gt = GT.ideal ()
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_uniform () =
+  let t = M.Topology.uniform ~latency:1e-6 () in
+  Alcotest.(check int) "hops 0" 0 (M.Topology.hops t ~src:3 ~dst:9);
+  check_close "flat latency" 1e-6
+    (M.Topology.message_delay t ~src:3 ~dst:9 ~bytes:1e6 ~now:0.0);
+  check_close "self free" 0.0
+    (M.Topology.message_delay t ~src:3 ~dst:3 ~bytes:1e6 ~now:0.0)
+
+let test_fat_tree_hops () =
+  let t = M.Topology.fat_tree ~arity:4 ~procs:64 () in
+  (* Same quad: LCA at level 1 -> 2 hops. *)
+  Alcotest.(check int) "same quad" 2 (M.Topology.hops t ~src:0 ~dst:3);
+  (* Adjacent quads: level 2 -> 4 hops. *)
+  Alcotest.(check int) "same 16-block" 4 (M.Topology.hops t ~src:0 ~dst:5);
+  (* Opposite sides of the machine: level 3 -> 6 hops. *)
+  Alcotest.(check int) "across the root" 6 (M.Topology.hops t ~src:0 ~dst:63);
+  Alcotest.(check int) "self" 0 (M.Topology.hops t ~src:7 ~dst:7)
+
+let test_fat_tree_latency_scales_with_hops () =
+  let t = M.Topology.fat_tree ~arity:4 ~hop_latency:1e-6 ~procs:64 () in
+  let near = M.Topology.message_delay t ~src:0 ~dst:1 ~bytes:0.0 ~now:0.0 in
+  check_close "2 hops" 2e-6 near
+
+let test_fat_tree_root_contention () =
+  let t =
+    M.Topology.fat_tree ~arity:4 ~hop_latency:0.0 ~root_bytes_per_sec:1e6
+      ~procs:16 ()
+  in
+  (* 0 -> 15 crosses the root (2 levels, LCA at top).  Two simultaneous
+     1e6-byte messages serialise: the second waits a full second. *)
+  let d1 = M.Topology.message_delay t ~src:0 ~dst:15 ~bytes:1e6 ~now:0.0 in
+  let d2 = M.Topology.message_delay t ~src:1 ~dst:14 ~bytes:1e6 ~now:0.0 in
+  check_close "first transits in 1s" 1.0 d1;
+  check_close "second queues behind it" 2.0 d2;
+  (* Intra-quad traffic is unaffected. *)
+  check_close "local traffic free" 0.0
+    (M.Topology.message_delay t ~src:0 ~dst:1 ~bytes:1e6 ~now:0.0);
+  M.Topology.reset t;
+  check_close "reset clears the queue" 1.0
+    (M.Topology.message_delay t ~src:0 ~dst:15 ~bytes:1e6 ~now:0.0)
+
+let test_mesh_hops () =
+  let t = M.Topology.mesh2d ~procs:16 () in
+  (* Width 4: proc 0 at (0,0), proc 5 at (1,1), proc 15 at (3,3). *)
+  Alcotest.(check int) "diag neighbour" 2 (M.Topology.hops t ~src:0 ~dst:5);
+  Alcotest.(check int) "corner to corner" 6 (M.Topology.hops t ~src:0 ~dst:15);
+  Alcotest.(check int) "row neighbour" 1 (M.Topology.hops t ~src:0 ~dst:1)
+
+let test_sim_with_topology_slower () =
+  (* A root-crossing transfer takes longer on a contended fat tree than
+     on the uniform network. *)
+  let prog =
+    M.Program.make ~procs:16
+      [|
+        [ M.Program.Send { edge = 0; dst_proc = 15; bytes = 100_000.0 } ];
+        [];
+        [];
+        [];
+        [];
+        [];
+        [];
+        [];
+        [];
+        [];
+        [];
+        [];
+        [];
+        [];
+        [];
+        [ M.Program.Recv { edge = 0; src_proc = 0; bytes = 100_000.0 } ];
+      |]
+  in
+  let flat = (M.Sim.run gt prog).finish_time in
+  let topo =
+    M.Topology.fat_tree ~arity:4 ~hop_latency:1e-6 ~root_bytes_per_sec:1e7
+      ~procs:16 ()
+  in
+  let treed = (M.Sim.run ~topology:topo gt prog).finish_time in
+  Alcotest.(check bool) "fat tree slower" true (treed > flat);
+  (* 100 kB over 10 MB/s root = 10 ms extra plus hop latency. *)
+  check_close ~eps:1e-6 "by the transit time" (flat +. 0.01 +. 4e-6) treed
+
+let test_topology_validation () =
+  Alcotest.check_raises "arity" (Invalid_argument "Topology.fat_tree: arity < 2")
+    (fun () -> ignore (M.Topology.fat_tree ~arity:1 ~procs:4 ()));
+  Alcotest.check_raises "latency"
+    (Invalid_argument "Topology.uniform: negative latency") (fun () ->
+      ignore (M.Topology.uniform ~latency:(-1.0) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Collectives                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_fragment ~procs fragment =
+  let code = Array.make procs [] in
+  List.iter (fun (p, ops) -> code.(p) <- code.(p) @ ops) fragment;
+  M.Sim.run gt (M.Program.make ~procs code)
+
+let test_broadcast_reaches_everyone () =
+  List.iter
+    (fun m ->
+      let procs = Array.init m Fun.id in
+      let frag =
+        M.Collectives.broadcast ~edge_base:0 ~procs ~root_index:0 ~bytes:1024.0
+      in
+      let r = run_fragment ~procs:m frag in
+      (* m-1 deliveries: everyone but the root receives exactly once. *)
+      Alcotest.(check int)
+        (Printf.sprintf "m=%d messages" m)
+        (m - 1) r.messages_delivered)
+    [ 1; 2; 3; 4; 7; 8; 16 ]
+
+let test_broadcast_matches_model () =
+  List.iter
+    (fun m ->
+      let procs = Array.init m Fun.id in
+      let frag =
+        M.Collectives.broadcast ~edge_base:0 ~procs ~root_index:0 ~bytes:32768.0
+      in
+      let r = run_fragment ~procs:m frag in
+      let model = M.Collectives.model_broadcast_time gt ~procs:m ~bytes:32768.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "m=%d sim %.4f vs model %.4f" m r.finish_time model)
+        true
+        (Float.abs (r.finish_time -. model) < 0.25 *. model))
+    [ 2; 4; 8; 16; 32 ]
+
+let test_broadcast_nonzero_root () =
+  let procs = [| 3; 5; 9; 11 |] in
+  let frag =
+    M.Collectives.broadcast ~edge_base:100 ~procs ~root_index:2 ~bytes:64.0
+  in
+  let r = run_fragment ~procs:12 frag in
+  Alcotest.(check int) "3 deliveries" 3 r.messages_delivered
+
+let test_reduce_combines () =
+  let m = 8 in
+  let procs = Array.init m Fun.id in
+  let frag =
+    M.Collectives.reduce ~edge_base:0 ~procs ~root_index:0 ~bytes:1024.0
+      ~combine_seconds:0.001
+  in
+  let r = run_fragment ~procs:m frag in
+  Alcotest.(check int) "m-1 messages" (m - 1) r.messages_delivered;
+  (* m-1 combines of 1 ms each, 3 on the root's critical path. *)
+  let combine_busy =
+    List.fold_left
+      (fun acc (s : M.Sim.segment) ->
+        match s.activity with
+        | M.Sim.Busy_compute _ -> acc +. (s.finish -. s.start)
+        | _ -> acc)
+      0.0 r.segments
+  in
+  check_close ~eps:1e-9 "total combine time" (float_of_int (m - 1) *. 0.001)
+    combine_busy
+
+let test_allgather_all_to_all () =
+  List.iter
+    (fun m ->
+      let procs = Array.init m Fun.id in
+      let frag =
+        M.Collectives.allgather ~edge_base:0 ~procs ~bytes_per_proc:512.0
+      in
+      let r = run_fragment ~procs:m frag in
+      (* Ring: m messages per step, m-1 steps. *)
+      Alcotest.(check int)
+        (Printf.sprintf "m=%d messages" m)
+        (m * (m - 1))
+        r.messages_delivered;
+      let model = M.Collectives.model_allgather_time gt ~procs:m ~bytes_per_proc:512.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "m=%d time vs model" m)
+        true
+        (Float.abs (r.finish_time -. model) < 0.25 *. model))
+    [ 2; 3; 4; 8 ]
+
+let test_collectives_single_proc_trivial () =
+  let procs = [| 0 |] in
+  Alcotest.(check int) "broadcast no ops" 0
+    (List.length (List.concat_map snd (M.Collectives.broadcast ~edge_base:0 ~procs ~root_index:0 ~bytes:8.0)));
+  Alcotest.(check int) "allgather no ops" 0
+    (List.length (List.concat_map snd (M.Collectives.allgather ~edge_base:0 ~procs ~bytes_per_proc:8.0)))
+
+let test_tags_used () =
+  Alcotest.(check int) "broadcast" 16 (M.Collectives.tags_used `Broadcast ~procs:16);
+  Alcotest.(check int) "allgather" 240 (M.Collectives.tags_used `Allgather ~procs:16)
+
+let prop_collectives_never_deadlock =
+  QCheck.Test.make ~name:"collectives complete for any size/root" ~count:50
+    QCheck.(pair (int_range 1 24) (int_range 0 23))
+    (fun (m, root) ->
+      let root = root mod m in
+      let procs = Array.init m Fun.id in
+      let b =
+        run_fragment ~procs:m
+          (M.Collectives.broadcast ~edge_base:0 ~procs ~root_index:root ~bytes:64.0)
+      in
+      let r =
+        run_fragment ~procs:m
+          (M.Collectives.reduce ~edge_base:0 ~procs ~root_index:root ~bytes:64.0
+             ~combine_seconds:1e-5)
+      in
+      let a =
+        run_fragment ~procs:m
+          (M.Collectives.allgather ~edge_base:0 ~procs ~bytes_per_proc:64.0)
+      in
+      b.messages_delivered = m - 1
+      && r.messages_delivered = m - 1
+      && a.messages_delivered = m * (m - 1))
+
+let suite =
+  [
+    Alcotest.test_case "topology: uniform" `Quick test_uniform;
+    Alcotest.test_case "topology: fat-tree hops" `Quick test_fat_tree_hops;
+    Alcotest.test_case "topology: fat-tree latency" `Quick
+      test_fat_tree_latency_scales_with_hops;
+    Alcotest.test_case "topology: root contention" `Quick
+      test_fat_tree_root_contention;
+    Alcotest.test_case "topology: mesh hops" `Quick test_mesh_hops;
+    Alcotest.test_case "topology: sim integration" `Quick
+      test_sim_with_topology_slower;
+    Alcotest.test_case "topology: validation" `Quick test_topology_validation;
+    Alcotest.test_case "collectives: broadcast coverage" `Quick
+      test_broadcast_reaches_everyone;
+    Alcotest.test_case "collectives: broadcast vs model" `Quick
+      test_broadcast_matches_model;
+    Alcotest.test_case "collectives: non-zero root" `Quick
+      test_broadcast_nonzero_root;
+    Alcotest.test_case "collectives: reduce combines" `Quick test_reduce_combines;
+    Alcotest.test_case "collectives: allgather" `Quick test_allgather_all_to_all;
+    Alcotest.test_case "collectives: single proc" `Quick
+      test_collectives_single_proc_trivial;
+    Alcotest.test_case "collectives: tag budget" `Quick test_tags_used;
+    QCheck_alcotest.to_alcotest prop_collectives_never_deadlock;
+  ]

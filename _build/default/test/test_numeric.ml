@@ -1,0 +1,400 @@
+(* Unit and property tests for the numeric substrate: Vec, Mat, Linreg,
+   Stats, Pow2. *)
+
+open Numeric
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basic () =
+  let v = Vec.init 4 float_of_int in
+  check_float "sum" 6.0 (Vec.sum v);
+  check_float "mean" 1.5 (Vec.mean v);
+  check_float "min" 0.0 (Vec.min_elt v);
+  check_float "max" 3.0 (Vec.max_elt v);
+  check_float "dot" 14.0 (Vec.dot v v);
+  check_float "norm2" (sqrt 14.0) (Vec.norm2 v)
+
+let test_vec_ops () =
+  let a = Vec.of_list [ 1.0; 2.0 ] and b = Vec.of_list [ 3.0; 5.0 ] in
+  Alcotest.(check bool) "add" true (Vec.approx_equal (Vec.add a b) [| 4.0; 7.0 |]);
+  Alcotest.(check bool) "sub" true (Vec.approx_equal (Vec.sub b a) [| 2.0; 3.0 |]);
+  Alcotest.(check bool) "mul" true (Vec.approx_equal (Vec.mul a b) [| 3.0; 10.0 |]);
+  Alcotest.(check bool)
+    "scale" true
+    (Vec.approx_equal (Vec.scale 2.0 a) [| 2.0; 4.0 |]);
+  check_float "dist2" (sqrt 13.0) (Vec.dist2 a b)
+
+let test_vec_axpy () =
+  let x = [| 1.0; 2.0 |] and y = [| 10.0; 20.0 |] in
+  Vec.axpy 3.0 x y;
+  Alcotest.(check bool) "axpy" true (Vec.approx_equal y [| 13.0; 26.0 |])
+
+let test_vec_clamp () =
+  let lo = [| 0.0; 0.0; 0.0 |] and hi = [| 1.0; 1.0; 1.0 |] in
+  let v = Vec.clamp ~lo ~hi [| -0.5; 0.5; 1.5 |] in
+  Alcotest.(check bool) "clamp" true (Vec.approx_equal v [| 0.0; 0.5; 1.0 |])
+
+let test_vec_errors () =
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]));
+  Alcotest.check_raises "empty mean" (Invalid_argument "Vec.mean: empty vector")
+    (fun () -> ignore (Vec.mean [||]))
+
+let test_vec_norm_inf () =
+  check_float "norm_inf" 3.0 (Vec.norm_inf [| -3.0; 2.0 |]);
+  check_float "norm_inf empty" 0.0 (Vec.norm_inf [||])
+
+(* ------------------------------------------------------------------ *)
+(* Mat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mat_identity_mul () =
+  let a = Mat.init 3 3 (fun i j -> float_of_int ((3 * i) + j)) in
+  let i3 = Mat.identity 3 in
+  Alcotest.(check bool) "A*I = A" true (Mat.approx_equal (Mat.matmul a i3) a);
+  Alcotest.(check bool) "I*A = A" true (Mat.approx_equal (Mat.matmul i3 a) a)
+
+let test_mat_matmul_known () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Mat.of_arrays [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Mat.matmul a b in
+  Alcotest.(check bool)
+    "2x2 product" true
+    (Mat.approx_equal c (Mat.of_arrays [| [| 19.0; 22.0 |]; [| 43.0; 50.0 |] |]))
+
+let test_mat_transpose () =
+  let a = Mat.init 2 3 (fun i j -> float_of_int ((10 * i) + j)) in
+  let t = Mat.transpose a in
+  Alcotest.(check int) "rows" 3 (Mat.rows t);
+  Alcotest.(check int) "cols" 2 (Mat.cols t);
+  check_float "entry" (Mat.get a 1 2) (Mat.get t 2 1);
+  Alcotest.(check bool)
+    "double transpose" true
+    (Mat.approx_equal (Mat.transpose t) a)
+
+let test_mat_solve () =
+  let a = Mat.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Mat.solve a [| 5.0; 10.0 |] in
+  Alcotest.(check bool) "solution" true (Vec.approx_equal x [| 1.0; 3.0 |])
+
+let test_mat_solve_pivot () =
+  (* Requires row exchange: leading zero pivot. *)
+  let a = Mat.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Mat.solve a [| 2.0; 3.0 |] in
+  Alcotest.(check bool) "pivoted" true (Vec.approx_equal x [| 3.0; 2.0 |])
+
+let test_mat_solve_singular () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular"
+    (Failure "Mat.solve: singular or near-singular matrix") (fun () ->
+      ignore (Mat.solve a [| 1.0; 2.0 |]))
+
+let test_mat_solve_roundtrip () =
+  (* Random well-conditioned systems solve to high accuracy. *)
+  let n = 6 in
+  let a =
+    Mat.init n n (fun i j ->
+        (if i = j then 10.0 else 0.0) +. sin (float_of_int ((i * n) + j)))
+  in
+  let x_true = Vec.init n (fun i -> float_of_int (i + 1)) in
+  let b = Mat.mat_vec a x_true in
+  let x = Mat.solve a b in
+  Alcotest.(check bool) "roundtrip" true (Vec.approx_equal ~eps:1e-8 x x_true)
+
+let test_mat_lsq_exact () =
+  (* Overdetermined but consistent system recovers exactly. *)
+  let a =
+    Mat.of_arrays [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 1.0 |] |]
+  in
+  let x = Mat.solve_lsq a [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check bool) "lsq" true (Vec.approx_equal ~eps:1e-8 x [| 1.0; 2.0 |])
+
+let test_mat_errors () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Mat.of_arrays: ragged rows") (fun () ->
+      ignore (Mat.of_arrays [| [| 1.0 |]; [| 1.0; 2.0 |] |]));
+  Alcotest.check_raises "matmul mismatch"
+    (Invalid_argument "Mat.matmul: inner dimension mismatch (2 vs 3)")
+    (fun () ->
+      ignore (Mat.matmul (Mat.create 2 2 0.0) (Mat.create 3 3 0.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Qr                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_qr_matches_normal_equations () =
+  let a =
+    Mat.of_arrays
+      [| [| 1.0; 2.0 |]; [| 3.0; 1.0 |]; [| 0.5; 4.0 |]; [| 2.0; 2.0 |] |]
+  in
+  let b = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let via_qr = Qr.lsq a b in
+  let via_ne = Mat.solve_lsq a b in
+  Alcotest.(check bool) "agree" true (Vec.approx_equal ~eps:1e-8 via_qr via_ne)
+
+let test_qr_exact_square () =
+  let a = Mat.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Qr.lsq a [| 5.0; 10.0 |] in
+  Alcotest.(check bool) "square system" true
+    (Vec.approx_equal ~eps:1e-10 x [| 1.0; 3.0 |])
+
+let test_qr_preserves_norm () =
+  (* Q is orthogonal: applying it preserves Euclidean norms. *)
+  let a =
+    Mat.init 5 3 (fun i j -> sin (float_of_int ((7 * i) + j)) +. 2.0)
+  in
+  let f = Qr.factorise a in
+  let y = [| 1.0; -2.0; 0.5; 3.0; -1.0 |] in
+  check_close ~eps:1e-10 "norm preserved" (Vec.norm2 y) (Vec.norm2 (Qr.q_times f y))
+
+let test_qr_ill_conditioned_columns () =
+  (* Columns scaled apart by 1e7 — the regime of transfer fits mixing
+     startup (1e-4 s) and per-byte (1e-9 s/B) coefficients. *)
+  let xs = List.init 12 (fun i -> float_of_int (i + 1)) in
+  let t_ss = 7.7e-4 and t_ps = 4.9e-10 in
+  let a =
+    Mat.of_arrays
+      (Array.of_list
+         (List.map (fun x -> [| x; 1e7 *. x *. x |]) xs))
+  in
+  let b =
+    Vec.of_list (List.map (fun x -> (t_ss *. x) +. (t_ps *. 1e7 *. x *. x)) xs)
+  in
+  let c = Qr.lsq a b in
+  check_close ~eps:1e-10 "startup coeff" t_ss c.(0);
+  check_close ~eps:1e-14 "per-byte coeff" t_ps c.(1)
+
+let test_qr_rank_deficient () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |]; [| 3.0; 6.0 |] |] in
+  let f = Qr.factorise a in
+  let diag = Qr.r_diagonal f in
+  Alcotest.(check bool) "tiny second pivot" true (Float.abs diag.(1) < 1e-10);
+  Alcotest.(check bool) "solve raises" true
+    (try
+       ignore (Qr.solve_lsq f [| 1.0; 2.0; 3.0 |]);
+       false
+     with Failure _ -> true)
+
+let test_qr_rejects_wide () =
+  Alcotest.check_raises "wide"
+    (Invalid_argument "Qr.factorise: more columns than rows") (fun () ->
+      ignore (Qr.factorise (Mat.create 2 3 1.0)))
+
+let prop_qr_residual_minimal =
+  (* The QR least-squares residual is no larger than at perturbed
+     candidate solutions. *)
+  QCheck.Test.make ~name:"QR least-squares residual is minimal" ~count:100
+    QCheck.(pair (int_range 0 1000) (pair (float_range (-1.0) 1.0) (float_range (-1.0) 1.0)))
+    (fun (seed, (d0, d1)) ->
+      let a =
+        Mat.init 6 2 (fun i j ->
+            sin (float_of_int ((seed * 31) + (i * 7) + j)) +. 1.5)
+      in
+      let b = Vec.init 6 (fun i -> cos (float_of_int (seed + i))) in
+      let x = Qr.lsq a b in
+      let resid v = Vec.norm2 (Vec.sub (Mat.mat_vec a v) b) in
+      resid x <= resid [| x.(0) +. d0; x.(1) +. d1 |] +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Linreg                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_linreg_exact () =
+  (* y = 2 + 3x fits exactly. *)
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  let ys = List.map (fun x -> 2.0 +. (3.0 *. x)) xs in
+  let intercept, slope = Linreg.fit_affine_1d ~xs ~ys in
+  check_close "intercept" 2.0 intercept;
+  check_close "slope" 3.0 slope
+
+let test_linreg_origin () =
+  let xs = [ 1.0; 2.0; 4.0 ] in
+  let ys = List.map (fun x -> 5.0 *. x) xs in
+  check_close "slope through origin" 5.0 (Linreg.fit_through_origin_1d ~xs ~ys)
+
+let test_linreg_multi () =
+  (* y = 1*b0 + 2*b1 with basis (1/x, x). *)
+  let basis a = [| 1.0 /. a.(0); a.(0) |] in
+  let inputs = List.map (fun x -> [| x |]) [ 1.0; 2.0; 3.0; 5.0; 8.0 ] in
+  let observations =
+    List.map (fun i -> (1.0 /. i.(0)) +. (2.0 *. i.(0))) inputs
+  in
+  let f = Linreg.fit ~basis ~inputs ~observations in
+  check_close "c0" 1.0 f.coeffs.(0);
+  check_close "c1" 2.0 f.coeffs.(1);
+  check_close "r2" 1.0 f.r_squared;
+  Alcotest.(check bool) "rmse tiny" true (f.rmse < 1e-9)
+
+let test_linreg_noisy_r2 () =
+  (* Deterministic "noise": r^2 below 1 but high. *)
+  let xs = List.init 20 (fun i -> float_of_int (i + 1)) in
+  let ys = List.map (fun x -> (2.0 *. x) +. sin (10.0 *. x)) xs in
+  let inputs = List.map (fun x -> [| x |]) xs in
+  let f = Linreg.fit ~basis:(fun a -> [| 1.0; a.(0) |]) ~inputs ~observations:ys in
+  Alcotest.(check bool) "r2 in (0.9, 1)" true
+    (f.r_squared > 0.9 && f.r_squared < 1.0)
+
+let test_linreg_predict () =
+  let basis a = [| 1.0; a.(0) |] in
+  let inputs = List.map (fun x -> [| x |]) [ 0.0; 1.0; 2.0 ] in
+  let f = Linreg.fit ~basis ~inputs ~observations:[ 1.0; 3.0; 5.0 ] in
+  check_close "predict" 9.0 (Linreg.predict ~basis f [| 4.0 |])
+
+let test_linreg_errors () =
+  Alcotest.check_raises "no samples" (Invalid_argument "Linreg.fit: no samples")
+    (fun () ->
+      ignore (Linreg.fit ~basis:(fun a -> a) ~inputs:[] ~observations:[]));
+  Alcotest.check_raises "underdetermined"
+    (Invalid_argument "Linreg.fit: fewer samples than coefficients") (fun () ->
+      ignore
+        (Linreg.fit
+           ~basis:(fun a -> [| 1.0; a.(0) |])
+           ~inputs:[ [| 1.0 |] ] ~observations:[ 1.0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "variance" (2.0 /. 3.0) (Stats.variance [ 1.0; 2.0; 3.0 ]);
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_stats_geomean () =
+  check_close "geometric mean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check_float "p0" 1.0 (Stats.percentile 0.0 xs);
+  check_float "p50" 3.0 (Stats.percentile 0.5 xs);
+  check_float "p100" 5.0 (Stats.percentile 1.0 xs);
+  check_float "p25" 2.0 (Stats.percentile 0.25 xs)
+
+let test_stats_errors_and_speedup () =
+  check_float "speedup" 4.0 (Stats.speedup ~serial:8.0 ~parallel:2.0);
+  check_float "efficiency" 0.5
+    (Stats.efficiency ~serial:8.0 ~parallel:2.0 ~procs:8);
+  check_float "relerr" 0.1 (Stats.relative_error ~actual:10.0 ~predicted:11.0);
+  check_float "mape" 10.0
+    (Stats.mean_absolute_percentage_error ~actual:[ 10.0; 10.0 ]
+       ~predicted:[ 11.0; 9.0 ]);
+  check_float "maxrel" 0.2
+    (Stats.max_relative_error ~actual:[ 10.0; 10.0 ] ~predicted:[ 11.0; 8.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Pow2                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pow2_predicates () =
+  Alcotest.(check bool) "1" true (Pow2.is_pow2 1);
+  Alcotest.(check bool) "64" true (Pow2.is_pow2 64);
+  Alcotest.(check bool) "6" false (Pow2.is_pow2 6);
+  Alcotest.(check bool) "0" false (Pow2.is_pow2 0);
+  Alcotest.(check bool) "-4" false (Pow2.is_pow2 (-4))
+
+let test_pow2_floor_ceil () =
+  Alcotest.(check int) "floor 1" 1 (Pow2.floor_pow2 1);
+  Alcotest.(check int) "floor 63" 32 (Pow2.floor_pow2 63);
+  Alcotest.(check int) "floor 64" 64 (Pow2.floor_pow2 64);
+  Alcotest.(check int) "ceil 33" 64 (Pow2.ceil_pow2 33);
+  Alcotest.(check int) "ceil 32" 32 (Pow2.ceil_pow2 32);
+  Alcotest.(check int) "log2 32" 5 (Pow2.log2_exact 32)
+
+let test_pow2_nearest () =
+  Alcotest.(check int) "2.9 -> 2" 2 (Pow2.nearest_pow2 2.9);
+  Alcotest.(check int) "3.0 -> 4 (tie up)" 4 (Pow2.nearest_pow2 3.0);
+  Alcotest.(check int) "3.1 -> 4" 4 (Pow2.nearest_pow2 3.1);
+  Alcotest.(check int) "0.3 -> 1" 1 (Pow2.nearest_pow2 0.3);
+  Alcotest.(check int) "1.4 -> 1" 1 (Pow2.nearest_pow2 1.4);
+  Alcotest.(check int) "47 -> 32" 32 (Pow2.nearest_pow2 47.0);
+  Alcotest.(check int) "49 -> 64" 64 (Pow2.nearest_pow2 49.0)
+
+let test_pow2_range () =
+  Alcotest.(check (list int)) "range 1" [ 1 ] (Pow2.pow2_range 1);
+  Alcotest.(check (list int))
+    "range 20" [ 1; 2; 4; 8; 16 ] (Pow2.pow2_range 20)
+
+(* The paper's rounding-factor claim: nearest-power-of-two rounding
+   changes any value by a factor within [2/3, 4/3]. *)
+let prop_nearest_factor =
+  QCheck.Test.make ~name:"nearest_pow2 factor within [2/3, 4/3]" ~count:500
+    QCheck.(float_range 1.0 64.0)
+    (fun p ->
+      let r = float_of_int (Pow2.nearest_pow2 p) in
+      let f = r /. p in
+      f >= (2.0 /. 3.0) -. 1e-9 && f <= (4.0 /. 3.0) +. 1e-9)
+
+let prop_lsq_residual_orthogonal =
+  (* Least-squares residuals are orthogonal to the column space. *)
+  QCheck.Test.make ~name:"lsq residual orthogonal to design columns" ~count:100
+    QCheck.(list_of_size (Gen.int_range 3 12) (float_range (-5.0) 5.0))
+    (fun xs ->
+      QCheck.assume (List.length xs >= 3);
+      let inputs = List.map (fun x -> [| x |]) xs in
+      let observations = List.map (fun x -> (x *. x) +. 1.0) xs in
+      let basis a = [| 1.0; a.(0) |] in
+      let f = Linreg.fit ~basis ~inputs ~observations in
+      let design = List.map basis inputs in
+      let col k = List.map (fun row -> row.(k)) design in
+      let dot xs ys = List.fold_left2 (fun acc a b -> acc +. (a *. b)) 0.0 xs ys in
+      let res = Array.to_list f.residuals in
+      let scale =
+        1.0 +. List.fold_left (fun acc r -> acc +. Float.abs r) 0.0 res
+      in
+      Float.abs (dot (col 0) res) < 1e-6 *. scale
+      && Float.abs (dot (col 1) res) < 1e-6 *. scale)
+
+let suite =
+  [
+    Alcotest.test_case "vec basic reductions" `Quick test_vec_basic;
+    Alcotest.test_case "vec pointwise ops" `Quick test_vec_ops;
+    Alcotest.test_case "vec axpy in place" `Quick test_vec_axpy;
+    Alcotest.test_case "vec clamp to box" `Quick test_vec_clamp;
+    Alcotest.test_case "vec error conditions" `Quick test_vec_errors;
+    Alcotest.test_case "vec infinity norm" `Quick test_vec_norm_inf;
+    Alcotest.test_case "mat identity multiply" `Quick test_mat_identity_mul;
+    Alcotest.test_case "mat known 2x2 product" `Quick test_mat_matmul_known;
+    Alcotest.test_case "mat transpose" `Quick test_mat_transpose;
+    Alcotest.test_case "mat solve 2x2" `Quick test_mat_solve;
+    Alcotest.test_case "mat solve needs pivoting" `Quick test_mat_solve_pivot;
+    Alcotest.test_case "mat solve singular" `Quick test_mat_solve_singular;
+    Alcotest.test_case "mat solve roundtrip 6x6" `Quick test_mat_solve_roundtrip;
+    Alcotest.test_case "mat least squares consistent" `Quick test_mat_lsq_exact;
+    Alcotest.test_case "mat error conditions" `Quick test_mat_errors;
+    Alcotest.test_case "qr matches normal equations" `Quick
+      test_qr_matches_normal_equations;
+    Alcotest.test_case "qr exact square solve" `Quick test_qr_exact_square;
+    Alcotest.test_case "qr preserves norms (orthogonality)" `Quick
+      test_qr_preserves_norm;
+    Alcotest.test_case "qr ill-conditioned columns" `Quick
+      test_qr_ill_conditioned_columns;
+    Alcotest.test_case "qr rank deficiency" `Quick test_qr_rank_deficient;
+    Alcotest.test_case "qr rejects wide matrices" `Quick test_qr_rejects_wide;
+    QCheck_alcotest.to_alcotest prop_qr_residual_minimal;
+    Alcotest.test_case "linreg exact affine" `Quick test_linreg_exact;
+    Alcotest.test_case "linreg through origin" `Quick test_linreg_origin;
+    Alcotest.test_case "linreg custom basis" `Quick test_linreg_multi;
+    Alcotest.test_case "linreg noisy r^2" `Quick test_linreg_noisy_r2;
+    Alcotest.test_case "linreg predict" `Quick test_linreg_predict;
+    Alcotest.test_case "linreg error conditions" `Quick test_linreg_errors;
+    Alcotest.test_case "stats basics" `Quick test_stats_basic;
+    Alcotest.test_case "stats geometric mean" `Quick test_stats_geomean;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats speedup/efficiency/error" `Quick
+      test_stats_errors_and_speedup;
+    Alcotest.test_case "pow2 predicates" `Quick test_pow2_predicates;
+    Alcotest.test_case "pow2 floor/ceil/log2" `Quick test_pow2_floor_ceil;
+    Alcotest.test_case "pow2 nearest rounding" `Quick test_pow2_nearest;
+    Alcotest.test_case "pow2 range" `Quick test_pow2_range;
+    QCheck_alcotest.to_alcotest prop_nearest_factor;
+    QCheck_alcotest.to_alcotest prop_lsq_residual_orthogonal;
+  ]
