@@ -1,0 +1,33 @@
+# Development entry points.  `make verify` is the tier-1 gate: build,
+# test, and (when ocamlformat is installed) formatting drift.
+
+.PHONY: all build test fmt fmt-apply verify clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Formatting check, gated on the pinned ocamlformat (see .ocamlformat)
+# being installed so environments without it still pass `make verify`.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+fmt-apply:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt --auto-promote; \
+	else \
+		echo "ocamlformat not installed; cannot reformat"; exit 1; \
+	fi
+
+verify: build test fmt
+
+clean:
+	dune clean

@@ -40,70 +40,17 @@ let ground_truth = function
   | Cm5 -> Machine.Ground_truth.cm5_like ()
   | Ideal -> Machine.Ground_truth.ideal ()
 
-(* A program spec is "complex[:N]", "strassen[:N]", "example", or a
-   path to a matrix-program source file. *)
-type program_spec = {
-  name : string;
-  graph : Mdg.Graph.t;
-  kernels : Mdg.Graph.kernel list;
-}
+let fail_msg fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("paradigm: " ^ msg);
+      exit 1)
+    fmt
 
-let load_program ?(optimise = false) spec =
-  let with_size s default =
-    match String.index_opt s ':' with
-    | None -> (s, default)
-    | Some i -> (
-        let base = String.sub s 0 i in
-        let num = String.sub s (i + 1) (String.length s - i - 1) in
-        match int_of_string_opt num with
-        | Some n when n >= 1 -> (base, n)
-        | _ -> failwith (Printf.sprintf "bad size in program spec %S" s))
-  in
-  match with_size spec 0 with
-  | "complex", n ->
-      let n = if n = 0 then 64 else n in
-      let g, _ = Kernels.Complex_mm.graph ~n () in
-      {
-        name = Printf.sprintf "complex matrix multiply (%dx%d)" n n;
-        graph = g;
-        kernels = Kernels.Complex_mm.kernels ~n;
-      }
-  | "strassen", n ->
-      let n = if n = 0 then 128 else n in
-      let g, _ = Kernels.Strassen_mdg.graph ~n () in
-      {
-        name = Printf.sprintf "strassen matrix multiply (%dx%d)" n n;
-        graph = g;
-        kernels = Kernels.Strassen_mdg.kernels ~n;
-      }
-  | "strassen2", n ->
-      let n = if n = 0 then 128 else n in
-      {
-        name = Printf.sprintf "two-level strassen (%dx%d)" n n;
-        graph = Kernels.Strassen_mdg.graph_recursive ~levels:2 ~n;
-        kernels = Kernels.Strassen_mdg.kernels_recursive ~levels:2 ~n;
-      }
-  | "example", _ ->
-      {
-        name = "paper figure-1 example";
-        graph = Kernels.Example_mdg.graph ();
-        kernels = [];
-      }
-  | _ ->
-      if not (Sys.file_exists spec) then
-        failwith
-          (Printf.sprintf
-             "unknown program %S (expected complex[:N], strassen[:N], \
-              strassen2[:N], example or a file path)"
-             spec);
-      let ic = open_in spec in
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      close_in ic;
-      let prog = Frontend.Parse.program_of_string text in
-      let prog = if optimise then Frontend.Opt.optimise prog else prog in
-      let g, _ = Frontend.Lower.to_mdg prog in
-      { name = spec; graph = g; kernels = Frontend.Lower.kernels prog }
+let load_program ?optimise spec =
+  match Frontend.Loader.load ?optimise spec with
+  | Ok p -> p
+  | Error (`Msg msg) -> fail_msg "%s" msg
 
 let program_arg =
   let doc =
@@ -111,8 +58,7 @@ let program_arg =
      $(b,strassen2)[:N] (two recursion levels), $(b,example), or a path to a \
      matrix-program source file."
   in
-  Arg.(
-    required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
 
 let procs_arg =
   let doc = "Number of processors in the target machine." in
@@ -125,7 +71,7 @@ let optimise_arg =
   in
   Arg.(value & flag & info [ "O"; "optimise" ] ~doc)
 
-let calibrated_params gt spec =
+let calibrated_params gt (spec : Frontend.Loader.t) =
   if spec.kernels = [] then Costmodel.Params.cm5 ()
   else
     let params, _, _ =
@@ -134,7 +80,55 @@ let calibrated_params gt spec =
     params
 
 let check_procs procs =
-  if procs < 1 then failwith "processor count must be >= 1"
+  if procs < 1 then fail_msg "processor count must be >= 1"
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry plumbing: --trace FILE / --metrics                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON telemetry file to $(docv): pipeline \
+     phase spans, solver convergence counters, PSA rounding/placement \
+     events and (for $(b,simulate)) the machine event timeline, all on one \
+     timeline.  Open it in chrome://tracing or Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "After the run, print a summary table of the telemetry stream: event \
+     counts, total span times and final counter samples."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+type telemetry = { obs : Obs.t; finish : unit -> unit }
+
+(* With neither flag the sink is [Obs.null] and the instrumented
+   pipeline runs at full speed. *)
+let telemetry ~trace ~metrics =
+  if trace = None && not metrics then
+    { obs = Obs.null; finish = (fun () -> ()) }
+  else begin
+    let recorder = Obs.Recorder.create () in
+    let obs = Obs.Recorder.sink recorder in
+    Obs.process_name obs ~pid:0 "paradigm compiler";
+    let finish () =
+      (match trace with
+      | Some path -> (
+          match Obs.Chrome_format.save path (Obs.Recorder.events recorder) with
+          | () -> Printf.printf "\ntelemetry trace written to %s\n" path
+          | exception Sys_error msg -> fail_msg "cannot write trace: %s" msg)
+      | None -> ());
+      if metrics then begin
+        print_newline ();
+        print_string
+          (Obs.Summary.to_string
+             (Obs.Summary.of_events (Obs.Recorder.events recorder)))
+      end
+    in
+    { obs; finish }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -194,13 +188,14 @@ let fit_cmd =
 (* ------------------------------------------------------------------ *)
 
 let allocate_cmd =
-  let run spec procs machine optimise =
+  let run spec procs machine trace metrics optimise =
     check_procs procs;
     let p = load_program ~optimise spec in
     let gt = ground_truth machine in
     let params = calibrated_params gt p in
     let g = Mdg.Graph.normalise p.graph in
-    let r = Core.Allocation.solve params g ~procs in
+    let tel = telemetry ~trace ~metrics in
+    let r = Core.Allocation.solve ~obs:tel.obs params g ~procs in
     Printf.printf "program        : %s\n" p.name;
     Printf.printf "processors     : %d\n" procs;
     Printf.printf "Phi            : %.6f s\n" r.phi;
@@ -212,12 +207,15 @@ let allocate_cmd =
       (fun i a ->
         Printf.printf "  node %2d %-26s p_i = %7.3f\n" i
           (Mdg.Graph.node g i).label a)
-      r.alloc
+      r.alloc;
+    tel.finish ()
   in
   Cmd.v
     (Cmd.info "allocate"
        ~doc:"Solve the convex-programming processor allocation (paper Sec. 2).")
-    Term.(const run $ program_arg $ procs_arg $ machine_arg $ optimise_arg)
+    Term.(
+      const run $ program_arg $ procs_arg $ machine_arg $ trace_arg
+      $ metrics_arg $ optimise_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schedule                                                            *)
@@ -228,17 +226,22 @@ let schedule_cmd =
     let doc = "Processor bound PB (power of two). Default: Corollary 1." in
     Arg.(value & opt (some int) None & info [ "pb" ] ~docv:"PB" ~doc)
   in
-  let run spec procs machine pb optimise =
+  let run spec procs machine pb trace metrics optimise =
     check_procs procs;
     let p = load_program ~optimise spec in
     let gt = ground_truth machine in
     let params = calibrated_params gt p in
-    let options =
+    let tel = telemetry ~trace ~metrics in
+    let psa_options =
       match pb with
       | None -> Core.Psa.default_options
       | Some pb -> { Core.Psa.default_options with pb = Core.Psa.Fixed pb }
     in
-    let plan = Core.Pipeline.plan ~psa_options:options params p.graph ~procs in
+    let config =
+      Core.Pipeline.(
+        default_config |> with_psa_options psa_options |> with_obs tel.obs)
+    in
+    let plan = Core.Pipeline.plan ~config params p.graph ~procs in
     Printf.printf "program : %s on %d processors\n" p.name procs;
     Printf.printf "Phi     : %.6f s\n" (Core.Pipeline.phi plan);
     Printf.printf "T_psa   : %.6f s  (PB = %d)\n\n"
@@ -249,36 +252,55 @@ let schedule_cmd =
          ~rounded:plan.psa.rounded_alloc);
     print_newline ();
     print_string (Core.Gantt.of_schedule plan.graph (Core.Pipeline.schedule plan));
-    match Core.Schedule.validate params plan.graph plan.psa.schedule with
+    (match Core.Schedule.validate params plan.graph plan.psa.schedule with
     | Ok () -> print_endline "schedule validates: OK"
     | Error msgs ->
         print_endline "schedule validation FAILED:";
         List.iter (Printf.printf "  %s\n") msgs;
-        exit 1
+        exit 1);
+    tel.finish ()
   in
   Cmd.v
     (Cmd.info "schedule"
        ~doc:"Allocate and run the Prioritised Scheduling Algorithm (paper Sec. 3).")
-    Term.(const run $ program_arg $ procs_arg $ machine_arg $ pb $ optimise_arg)
+    Term.(
+      const run $ program_arg $ procs_arg $ machine_arg $ pb $ trace_arg
+      $ metrics_arg $ optimise_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let simulate_cmd =
-  let trace =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print the simulated activity Gantt.")
+  let gantt =
+    Arg.(
+      value & flag
+      & info [ "gantt" ] ~doc:"Print the simulated activity Gantt chart.")
   in
   let trace_json =
-    let doc = "Write a Chrome trace-event JSON of the execution to $(docv)." in
+    let doc =
+      "Write a Chrome trace-event JSON of the machine execution only to \
+       $(docv) (see $(b,--trace) for the full pipeline telemetry)."
+    in
     Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
   in
-  let run spec procs machine trace trace_json optimise =
+  let run spec procs machine gantt trace trace_json metrics optimise =
     check_procs procs;
     let p = load_program ~optimise spec in
     let gt = ground_truth machine in
     let params = calibrated_params gt p in
-    let c = Core.Pipeline.compare_mpmd_spmd gt params p.graph ~procs in
+    let tel = telemetry ~trace ~metrics in
+    let config = Core.Pipeline.(default_config |> with_obs tel.obs) in
+    let plan = Core.Pipeline.plan ~config params p.graph ~procs in
+    let mpmd = Core.Pipeline.simulate gt plan in
+    let spmd = Core.Pipeline.simulate_spmd ~obs:tel.obs gt p.graph ~procs in
+    let serial = Core.Pipeline.serial_time gt p.graph in
+    let c =
+      Core.Pipeline.comparison_of ~procs ~serial
+        ~predicted:(Core.Pipeline.predicted_time plan)
+        ~phi:(Core.Pipeline.phi plan) ~mpmd_time:mpmd.finish_time
+        ~spmd_time:spmd.finish_time
+    in
     Printf.printf "program            : %s on %d processors\n" p.name procs;
     Printf.printf "serial time        : %.6f s\n" c.serial;
     Printf.printf "MPMD (this paper)  : %.6f s   speedup %6.2f  efficiency %5.1f%%\n"
@@ -288,46 +310,50 @@ let simulate_cmd =
     Printf.printf "model prediction   : %.6f s   (%.1f%% off actual)\n" c.predicted
       (100.0 *. (c.predicted -. c.mpmd_time) /. c.mpmd_time);
     Printf.printf "convex optimum Phi : %.6f s\n" c.phi;
-    if trace || trace_json <> None then begin
-      let plan = Core.Pipeline.plan params p.graph ~procs in
-      let sim = Core.Pipeline.simulate gt plan in
-      if trace then begin
-        print_newline ();
-        print_string (Core.Gantt.of_sim sim)
-      end;
-      match trace_json with
-      | Some path ->
-          Machine.Trace_export.save ~process_name:p.name path sim;
-          Printf.printf "\nChrome trace written to %s\n" path
-      | None -> ()
-    end
+    if gantt then begin
+      print_newline ();
+      print_string (Core.Gantt.of_sim mpmd)
+    end;
+    (match trace_json with
+    | Some path ->
+        Machine.Trace_export.save ~process_name:p.name path mpmd;
+        Printf.printf "\nChrome trace written to %s\n" path
+    | None -> ());
+    tel.finish ()
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the compiled MPMD program and the SPMD baseline on the machine.")
-    Term.(const run $ program_arg $ procs_arg $ machine_arg $ trace $ trace_json $ optimise_arg)
+    Term.(
+      const run $ program_arg $ procs_arg $ machine_arg $ gantt $ trace_arg
+      $ trace_json $ metrics_arg $ optimise_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compile                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run spec procs machine optimise =
+  let run spec procs machine trace metrics optimise =
     check_procs procs;
     let p = load_program ~optimise spec in
     let gt = ground_truth machine in
     let params = calibrated_params gt p in
-    let plan = Core.Pipeline.plan params p.graph ~procs in
+    let tel = telemetry ~trace ~metrics in
+    let config = Core.Pipeline.(default_config |> with_obs tel.obs) in
+    let plan = Core.Pipeline.plan ~config params p.graph ~procs in
     let prog = Core.Codegen.mpmd gt plan.graph (Core.Pipeline.schedule plan) in
     Printf.printf "# %s compiled for %d processors\n" p.name procs;
     Printf.printf "# Phi = %.6f s, T_psa = %.6f s\n\n" (Core.Pipeline.phi plan)
       (Core.Pipeline.predicted_time plan);
-    Format.printf "%a@." Machine.Program.pp prog
+    Format.printf "%a@." Machine.Program.pp prog;
+    tel.finish ()
   in
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Print the generated per-processor MPMD program (paper Sec. 1.2 step 5).")
-    Term.(const run $ program_arg $ procs_arg $ machine_arg $ optimise_arg)
+    Term.(
+      const run $ program_arg $ procs_arg $ machine_arg $ trace_arg
+      $ metrics_arg $ optimise_arg)
 
 (* ------------------------------------------------------------------ *)
 

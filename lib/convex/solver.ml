@@ -48,7 +48,8 @@ let validate { objective; lo; hi } =
 
 (* One stage of accelerated projected gradient descent (FISTA with
    function-value restart) with Armijo backtracking, at a fixed
-   smoothing temperature.  Returns (x, iterations, hit_tol).
+   smoothing temperature.  Returns (x, iterations, hit_tol,
+   backtracks) where [backtracks] counts line-search shrink steps.
 
    The momentum point [y] may leave the box; the objective is defined
    on all of R^n (sums of exponentials), so evaluating there is fine —
@@ -61,6 +62,7 @@ let stage ~opts ~mu ~objective ~lo ~hi x0 =
   let step = ref opts.step_init in
   let fx = ref (Expr.eval ~mu objective !x) in
   let iters = ref 0 in
+  let backtracks = ref 0 in
   let hit_tol = ref false in
   (try
      for _ = 1 to opts.max_iters do
@@ -75,7 +77,10 @@ let stage ~opts ~mu ~objective ~lo ~hi x0 =
            let d = Vec.sub !y cand in
            if fc <= f_y -. (opts.armijo_c /. step_try *. Vec.dot d d) then
              Some (cand, fc, step_try)
-           else search (step_try *. opts.armijo_shrink) (tries - 1)
+           else begin
+             incr backtracks;
+             search (step_try *. opts.armijo_shrink) (tries - 1)
+           end
        in
        match search !step 60 with
        | None ->
@@ -109,9 +114,9 @@ let stage ~opts ~mu ~objective ~lo ~hi x0 =
            end
      done
    with Exit -> ());
-  (!x, !iters, !hit_tol)
+  (!x, !iters, !hit_tol, !backtracks)
 
-let solve ?(options = default_options) ?x0 problem =
+let solve ?(options = default_options) ?(obs = Obs.null) ?x0 problem =
   validate problem;
   let { objective; lo; hi } = problem in
   let n = Vec.dim lo in
@@ -122,6 +127,9 @@ let solve ?(options = default_options) ?x0 problem =
         Vec.clamp ~lo ~hi x
     | None -> Vec.init n (fun i -> (lo.(i) +. hi.(i)) /. 2.0)
   in
+  Obs.span obs ~cat:"solver" "solver.solve"
+    ~args:[ ("vars", Obs.Events.Int n) ]
+  @@ fun () ->
   (* Scale smoothing temperatures by the magnitude of the objective so
      the anneal behaves the same for millisecond- and second-scale
      costs. *)
@@ -131,23 +139,51 @@ let solve ?(options = default_options) ?x0 problem =
   let x = ref x0 in
   let total_iters = ref 0 in
   let stages_done = ref 0 in
+  let last_obj = ref Float.nan in
+  (* Per-stage convergence telemetry: smoothing temperature, gradient
+     iterations, Armijo backtracks and the exact objective reached.
+     The extra exact evaluation only happens with a live sink. *)
+  let report ~mu ~iters ~backtracks =
+    if Obs.enabled obs then begin
+      let f_exact = Expr.eval objective !x in
+      let decrease =
+        if Float.is_nan !last_obj then 0.0 else !last_obj -. f_exact
+      in
+      last_obj := f_exact;
+      Obs.counter obs "solver.stage"
+        [
+          ("stage", float_of_int !stages_done);
+          ("mu", mu);
+          ("iterations", float_of_int iters);
+          ("backtracks", float_of_int backtracks);
+          ("objective", f_exact);
+          ("decrease", decrease);
+        ]
+    end
+  in
   let mu = ref mu_init in
   let continue = ref true in
   while !continue do
-    let x', iters, _ = stage ~opts:options ~mu:!mu ~objective ~lo ~hi !x in
+    let x', iters, _, backtracks =
+      stage ~opts:options ~mu:!mu ~objective ~lo ~hi !x
+    in
     x := x';
     total_iters := !total_iters + iters;
     incr stages_done;
+    report ~mu:!mu ~iters ~backtracks;
     if !mu <= mu_final then continue := false
     else mu := Float.max (!mu *. options.mu_decay) mu_final
   done;
   (* Finish with one exact (subgradient) polishing stage; convergence is
      judged on this final stage (intermediate smoothed stages need not
      reach full tolerance to anneal onward). *)
-  let x', iters, ok = stage ~opts:options ~mu:0.0 ~objective ~lo ~hi !x in
+  let x', iters, ok, backtracks =
+    stage ~opts:options ~mu:0.0 ~objective ~lo ~hi !x
+  in
   x := x';
   total_iters := !total_iters + iters;
   incr stages_done;
+  report ~mu:0.0 ~iters ~backtracks;
   {
     x = !x;
     value = Expr.eval objective !x;

@@ -39,10 +39,18 @@ type result = {
                               step tolerance *)
 }
 
-val solve : ?options:options -> ?x0:Numeric.Vec.t -> problem -> result
+val solve :
+  ?options:options -> ?obs:Obs.t -> ?x0:Numeric.Vec.t -> problem -> result
 (** Solve the problem.  [x0] defaults to the box centre; it is projected
     into the box first.  Raises [Invalid_argument] if the box is empty
-    or dimensions disagree. *)
+    or dimensions disagree.
+
+    With a live [obs] sink (default {!Obs.null}: no overhead) the
+    solve is wrapped in a ["solver.solve"] span and every smoothing
+    stage emits a ["solver.stage"] counter sampling the smoothing
+    temperature [mu], gradient [iterations], Armijo [backtracks], the
+    exact (unsmoothed) [objective] reached and its [decrease] from the
+    previous stage. *)
 
 val golden_section :
   ?tol:float -> f:(float -> float) -> lo:float -> hi:float -> unit -> float

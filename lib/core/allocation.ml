@@ -92,7 +92,7 @@ let critical_path_expr params g ~procs =
 let objective params g ~procs =
   E.max_ [ average_expr params g ~procs; critical_path_expr params g ~procs ]
 
-let solve ?options params g ~procs =
+let solve ?options ?obs params g ~procs =
   check params g ~procs;
   let n = G.num_nodes g in
   let avg = average_expr params g ~procs in
@@ -100,7 +100,7 @@ let solve ?options params g ~procs =
   let obj = E.max_ [ avg; cp ] in
   let lo = Numeric.Vec.create n 0.0 in
   let hi = Numeric.Vec.create n (log (float_of_int procs)) in
-  let solver = Convex.Solver.solve ?options { objective = obj; lo; hi } in
+  let solver = Convex.Solver.solve ?options ?obs { objective = obj; lo; hi } in
   let alloc = Array.map exp solver.x in
   {
     alloc;

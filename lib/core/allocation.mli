@@ -38,6 +38,7 @@ val critical_path_expr :
 
 val solve :
   ?options:Convex.Solver.options ->
+  ?obs:Obs.t ->
   Costmodel.Params.t ->
   Mdg.Graph.t ->
   procs:int ->
@@ -45,7 +46,8 @@ val solve :
 (** Solve the allocation problem.  Raises [Invalid_argument] if the
     graph is not normalised or [procs < 1]; raises [Not_found] if the
     parameter set lacks processing entries for a kernel in the
-    graph. *)
+    graph.  [obs] (default {!Obs.null}) receives the underlying
+    solver's convergence telemetry — see {!Convex.Solver.solve}. *)
 
 val evaluate :
   Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> alloc:float array -> float

@@ -1,20 +1,51 @@
 module G = Mdg.Graph
 
+type config = {
+  solver_options : Convex.Solver.options;
+  psa_options : Psa.options;
+  obs : Obs.t;
+}
+
+let default_config =
+  {
+    solver_options = Convex.Solver.default_options;
+    psa_options = Psa.default_options;
+    obs = Obs.null;
+  }
+
+let with_solver_options solver_options config = { config with solver_options }
+
+let with_psa_options psa_options config = { config with psa_options }
+
+let with_obs obs config = { config with obs }
+
 type plan = {
   graph : G.t;
   params : Costmodel.Params.t;
   procs : int;
   allocation : Allocation.result;
   psa : Psa.result;
+  config : config;
 }
 
-let plan ?solver_options ?psa_options params g ~procs =
+let plan ?(config = default_config) params g ~procs =
+  let obs = config.obs in
+  Obs.span obs ~cat:"pipeline" "pipeline.plan"
+    ~args:[ ("procs", Obs.Events.Int procs) ]
+  @@ fun () ->
   let g = G.normalise g in
-  let allocation = Allocation.solve ?options:solver_options params g ~procs in
-  let psa =
-    Psa.schedule ?options:psa_options params g ~procs ~alloc:allocation.alloc
+  let allocation =
+    Obs.span obs ~cat:"pipeline" "pipeline.allocate"
+      ~args:[ ("nodes", Obs.Events.Int (G.num_nodes g)) ]
+      (fun () ->
+        Allocation.solve ~options:config.solver_options ~obs params g ~procs)
   in
-  { graph = g; params; procs; allocation; psa }
+  let psa =
+    Obs.span obs ~cat:"pipeline" "pipeline.schedule" (fun () ->
+        Psa.schedule ~options:config.psa_options ~obs params g ~procs
+          ~alloc:allocation.alloc)
+  in
+  { graph = g; params; procs; allocation; psa; config }
 
 let phi p = p.allocation.phi
 
@@ -22,11 +53,30 @@ let predicted_time p = p.psa.t_psa
 
 let schedule p = p.psa.schedule
 
-let simulate gt p = Machine.Sim.run gt (Codegen.mpmd gt p.graph p.psa.schedule)
+(* pid 1 carries the MPMD machine timeline, pid 2 the SPMD baseline's,
+   so both can coexist with the compiler's pid-0 wall-clock spans in
+   one trace file. *)
+let mpmd_sim_pid = 1
 
-let simulate_spmd gt g ~procs =
+let spmd_sim_pid = 2
+
+let simulate gt p =
+  let obs = p.config.obs in
+  let prog =
+    Obs.span obs ~cat:"pipeline" "pipeline.codegen" (fun () ->
+        Codegen.mpmd gt p.graph p.psa.schedule)
+  in
+  Obs.span obs ~cat:"pipeline" "pipeline.simulate" (fun () ->
+      Machine.Sim.run ~obs ~obs_pid:mpmd_sim_pid gt prog)
+
+let simulate_spmd ?(obs = Obs.null) gt g ~procs =
   let g = G.normalise g in
-  Machine.Sim.run gt (Codegen.spmd gt g ~procs)
+  let prog =
+    Obs.span obs ~cat:"pipeline" "pipeline.codegen_spmd" (fun () ->
+        Codegen.spmd gt g ~procs)
+  in
+  Obs.span obs ~cat:"pipeline" "pipeline.simulate_spmd" (fun () ->
+      Machine.Sim.run ~obs ~obs_pid:spmd_sim_pid gt prog)
 
 let serial_time gt g =
   Array.fold_left
@@ -48,23 +98,47 @@ type comparison = {
   phi : float;
 }
 
-let compare_mpmd_spmd ?solver_options ?psa_options gt params g ~procs =
-  let g = G.normalise g in
-  let p = plan ?solver_options ?psa_options params g ~procs in
-  let mpmd = simulate gt p in
-  let spmd = simulate_spmd gt g ~procs in
-  let serial = serial_time gt g in
+let comparison_of ~procs ~serial ~predicted ~phi ~mpmd_time ~spmd_time =
   {
     procs;
     serial;
-    mpmd_time = mpmd.finish_time;
-    spmd_time = spmd.finish_time;
-    mpmd_speedup = Numeric.Stats.speedup ~serial ~parallel:mpmd.finish_time;
-    spmd_speedup = Numeric.Stats.speedup ~serial ~parallel:spmd.finish_time;
-    mpmd_efficiency =
-      Numeric.Stats.efficiency ~serial ~parallel:mpmd.finish_time ~procs;
-    spmd_efficiency =
-      Numeric.Stats.efficiency ~serial ~parallel:spmd.finish_time ~procs;
-    predicted = predicted_time p;
-    phi = phi p;
+    mpmd_time;
+    spmd_time;
+    mpmd_speedup = Numeric.Stats.speedup ~serial ~parallel:mpmd_time;
+    spmd_speedup = Numeric.Stats.speedup ~serial ~parallel:spmd_time;
+    mpmd_efficiency = Numeric.Stats.efficiency ~serial ~parallel:mpmd_time ~procs;
+    spmd_efficiency = Numeric.Stats.efficiency ~serial ~parallel:spmd_time ~procs;
+    predicted;
+    phi;
   }
+
+let compare_mpmd_spmd ?(config = default_config) gt params g ~procs =
+  let g = G.normalise g in
+  let p = plan ~config params g ~procs in
+  let mpmd = simulate gt p in
+  let spmd = simulate_spmd ~obs:config.obs gt g ~procs in
+  let serial = serial_time gt g in
+  comparison_of ~procs ~serial ~predicted:(predicted_time p) ~phi:(phi p)
+    ~mpmd_time:mpmd.finish_time ~spmd_time:spmd.finish_time
+
+(* Deprecated pre-[config] entry points, kept so external callers of
+   the scattered optional-argument API keep compiling. *)
+
+let config_of_options ?solver_options ?psa_options () =
+  let config = default_config in
+  let config =
+    match solver_options with
+    | None -> config
+    | Some o -> with_solver_options o config
+  in
+  match psa_options with None -> config | Some o -> with_psa_options o config
+
+let plan_with_options ?solver_options ?psa_options params g ~procs =
+  plan ~config:(config_of_options ?solver_options ?psa_options ()) params g
+    ~procs
+
+let compare_mpmd_spmd_with_options ?solver_options ?psa_options gt params g
+    ~procs =
+  compare_mpmd_spmd
+    ~config:(config_of_options ?solver_options ?psa_options ())
+    gt params g ~procs

@@ -4,7 +4,45 @@
     [plan] runs allocation (convex program) and scheduling (PSA);
     [simulate] generates the MPMD program and executes it on the
     simulated machine; [simulate_spmd] runs the pure-data-parallel
-    baseline the paper compares against. *)
+    baseline the paper compares against.
+
+    Every entry point is parameterised by a single {!config} record
+    carrying the solver options, PSA options and the telemetry sink —
+    build one from {!default_config} with the [with_*] combinators:
+
+    {[
+      let config =
+        Pipeline.(
+          default_config
+          |> with_psa_options { Psa.default_options with pb = Psa.Fixed 8 }
+          |> with_obs (Obs.Recorder.sink recorder))
+      in
+      Pipeline.plan ~config params g ~procs
+    ]}
+
+    With a live sink the pipeline emits ["pipeline.plan"] /
+    ["pipeline.allocate"] / ["pipeline.schedule"] /
+    ["pipeline.codegen"] / ["pipeline.simulate"] wall-clock spans on
+    pid 0, the solver and PSA emit their convergence and
+    rounding/placement events (see {!Convex.Solver.solve} and
+    {!Psa.schedule}), and the machine simulator forwards its
+    simulated-time event trace on pid 1 (MPMD) / pid 2 (SPMD) — so a
+    single Chrome trace shows the whole compile-and-run timeline. *)
+
+type config = {
+  solver_options : Convex.Solver.options;
+  psa_options : Psa.options;
+  obs : Obs.t;
+}
+
+val default_config : config
+(** Default solver and PSA options, {!Obs.null} sink. *)
+
+val with_solver_options : Convex.Solver.options -> config -> config
+
+val with_psa_options : Psa.options -> config -> config
+
+val with_obs : Obs.t -> config -> config
 
 type plan = {
   graph : Mdg.Graph.t;
@@ -12,15 +50,12 @@ type plan = {
   procs : int;
   allocation : Allocation.result;
   psa : Psa.result;
+  config : config;  (** the configuration the plan was built with;
+                        [simulate] reuses its sink *)
 }
 
 val plan :
-  ?solver_options:Convex.Solver.options ->
-  ?psa_options:Psa.options ->
-  Costmodel.Params.t ->
-  Mdg.Graph.t ->
-  procs:int ->
-  plan
+  ?config:config -> Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> plan
 (** Normalises the graph if necessary, solves the allocation problem
     and runs the PSA. *)
 
@@ -33,10 +68,16 @@ val predicted_time : plan -> float
 val schedule : plan -> Schedule.t
 
 val simulate : Machine.Ground_truth.t -> plan -> Machine.Sim.result
-(** Generate the MPMD program and execute it on the machine. *)
+(** Generate the MPMD program and execute it on the machine.  Uses the
+    plan's configured sink for codegen/simulate spans and the machine
+    event timeline. *)
 
 val simulate_spmd :
-  Machine.Ground_truth.t -> Mdg.Graph.t -> procs:int -> Machine.Sim.result
+  ?obs:Obs.t ->
+  Machine.Ground_truth.t ->
+  Mdg.Graph.t ->
+  procs:int ->
+  Machine.Sim.result
 (** Run the SPMD baseline of the (normalised) graph. *)
 
 val serial_time : Machine.Ground_truth.t -> Mdg.Graph.t -> float
@@ -56,9 +97,20 @@ type comparison = {
   phi : float;
 }
 
+val comparison_of :
+  procs:int ->
+  serial:float ->
+  predicted:float ->
+  phi:float ->
+  mpmd_time:float ->
+  spmd_time:float ->
+  comparison
+(** Assemble a comparison from already-measured times (speedups and
+    efficiencies are derived) — for callers that need the individual
+    simulation results as well. *)
+
 val compare_mpmd_spmd :
-  ?solver_options:Convex.Solver.options ->
-  ?psa_options:Psa.options ->
+  ?config:config ->
   Machine.Ground_truth.t ->
   Costmodel.Params.t ->
   Mdg.Graph.t ->
@@ -66,3 +118,28 @@ val compare_mpmd_spmd :
   comparison
 (** The full Figure 8 / Figure 9 / Table 3 measurement for one machine
     size. *)
+
+(** {2 Deprecated}
+
+    Thin wrappers over the {!config} API, kept for source
+    compatibility with the pre-[config] optional-argument interface. *)
+
+val plan_with_options :
+  ?solver_options:Convex.Solver.options ->
+  ?psa_options:Psa.options ->
+  Costmodel.Params.t ->
+  Mdg.Graph.t ->
+  procs:int ->
+  plan
+[@@ocaml.deprecated "Use Pipeline.plan ?config with Pipeline.with_* builders."]
+
+val compare_mpmd_spmd_with_options :
+  ?solver_options:Convex.Solver.options ->
+  ?psa_options:Psa.options ->
+  Machine.Ground_truth.t ->
+  Costmodel.Params.t ->
+  Mdg.Graph.t ->
+  procs:int ->
+  comparison
+[@@ocaml.deprecated
+  "Use Pipeline.compare_mpmd_spmd ?config with Pipeline.with_* builders."]

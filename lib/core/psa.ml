@@ -46,7 +46,7 @@ let apply_bound ~pb alloc =
 (* List scheduling.  [avail.(p)] is the time processor [p] becomes
    free.  For a node needing k processors we take the k earliest-free
    processors; PST is the k-th smallest availability. *)
-let list_schedule ~priority ~procs ~node_weight ~edge_weight ~alloc g =
+let list_schedule ~obs ~priority ~procs ~node_weight ~edge_weight ~alloc g =
   let n = G.num_nodes g in
   let avail = Array.make procs 0.0 in
   let finish = Array.make n 0.0 in
@@ -101,6 +101,17 @@ let list_schedule ~priority ~procs ~node_weight ~edge_weight ~alloc g =
         Array.iter (fun p -> avail.(p) <- fin) chosen;
         finish.(node) <- fin;
         scheduled.(node) <- true;
+        if Obs.enabled obs then
+          Obs.instant obs ~cat:"psa" "psa.place"
+            ~args:
+              [
+                ("node", Obs.Events.Int node);
+                ("procs", Obs.Events.Int k);
+                ("est", Obs.Events.Float est.(node));
+                ("pst", Obs.Events.Float pst);
+                ("start", Obs.Events.Float start);
+                ("finish", Obs.Events.Float fin);
+              ];
         entries :=
           { Schedule.node; procs = chosen; start; finish = fin } :: !entries;
         (* Release successors whose predecessors are now all done. *)
@@ -116,7 +127,8 @@ let list_schedule ~priority ~procs ~node_weight ~edge_weight ~alloc g =
     invalid_arg "Psa.list_schedule: graph not fully scheduled (not normalised?)";
   Schedule.make ~machine_procs:procs (List.rev !entries)
 
-let schedule ?(options = default_options) params g ~procs ~alloc =
+let schedule ?(options = default_options) ?(obs = Obs.null) params g ~procs
+    ~alloc =
   if not (G.is_normalised g) then
     invalid_arg "Psa.schedule: graph must be normalised";
   if Array.length alloc <> G.num_nodes g then
@@ -132,12 +144,27 @@ let schedule ?(options = default_options) params g ~procs ~alloc =
   in
   let rounded = round_allocation ~rounding:options.rounding ~procs alloc in
   let bounded = apply_bound ~pb rounded in
+  (* Per-node rounding trail: the convex program's continuous p_i, its
+     power-of-two rounding, and the PB clamp actually applied. *)
+  if Obs.enabled obs then
+    Array.iteri
+      (fun i p ->
+        Obs.instant obs ~cat:"psa" "psa.round"
+          ~args:
+            [
+              ("node", Obs.Events.Int i);
+              ("continuous", Obs.Events.Float p);
+              ("pow2", Obs.Events.Int rounded.(i));
+              ("clamped", Obs.Events.Int bounded.(i));
+              ("pb", Obs.Events.Int pb);
+            ])
+      alloc;
   let allocf i = float_of_int bounded.(i) in
   let node_weight i = Costmodel.Weights.node_weight params g ~alloc:allocf i in
   let edge_weight e = Costmodel.Weights.edge_weight params ~alloc:allocf e in
   let sched =
-    list_schedule ~priority:options.priority ~procs ~node_weight ~edge_weight
-      ~alloc:bounded g
+    list_schedule ~obs ~priority:options.priority ~procs ~node_weight
+      ~edge_weight ~alloc:bounded g
   in
   {
     schedule = sched;

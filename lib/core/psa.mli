@@ -54,10 +54,17 @@ val apply_bound : pb:int -> int array -> int array
 
 val schedule :
   ?options:options ->
+  ?obs:Obs.t ->
   Costmodel.Params.t ->
   Mdg.Graph.t ->
   procs:int ->
   alloc:float array ->
   result
 (** Run the full PSA on a normalised graph with the given real-valued
-    allocation (typically {!Allocation.solve}[.alloc]). *)
+    allocation (typically {!Allocation.solve}[.alloc]).
+
+    With a live [obs] sink (default {!Obs.null}: no overhead) every
+    node emits a ["psa.round"] instant recording its continuous
+    allocation, power-of-two rounding and PB clamp, and every
+    list-scheduling placement emits a ["psa.place"] instant with the
+    node's EST, PST, start, finish and processor count. *)

@@ -1,0 +1,92 @@
+type t = {
+  name : string;
+  graph : Mdg.Graph.t;
+  kernels : Mdg.Graph.kernel list;
+}
+
+let spec_syntax =
+  "complex[:N], strassen[:N], strassen2[:N], example, or a path to a \
+   matrix-program source file"
+
+let err fmt = Printf.ksprintf (fun m -> Error (`Msg m)) fmt
+
+let ( let* ) = Result.bind
+
+(* "name:N" -> (name, N); a missing suffix yields [default]. *)
+let with_size spec default =
+  match String.index_opt spec ':' with
+  | None -> Ok (spec, default)
+  | Some i -> (
+      let base = String.sub spec 0 i in
+      let num = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt num with
+      | Some n when n >= 1 -> Ok (base, n)
+      | _ ->
+          err "bad size %S in program spec %S (expected a positive integer)"
+            num spec)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> err "cannot read %S: %s" path msg
+
+let of_source ?(optimise = false) ~name text =
+  try
+    let prog = Parse.program_of_string text in
+    let prog = if optimise then Opt.optimise prog else prog in
+    let graph, _ = Lower.to_mdg prog in
+    Ok { name; graph; kernels = Lower.kernels prog }
+  with
+  | Parse.Parse_error { line; message } ->
+      err "%s: parse error at line %d: %s" name line message
+  | Invalid_argument msg -> err "%s: invalid program: %s" name msg
+
+let builtin base n =
+  match base with
+  | "complex" ->
+      let n = if n = 0 then 64 else n in
+      let graph, _ = Kernels.Complex_mm.graph ~n () in
+      Some
+        {
+          name = Printf.sprintf "complex matrix multiply (%dx%d)" n n;
+          graph;
+          kernels = Kernels.Complex_mm.kernels ~n;
+        }
+  | "strassen" ->
+      let n = if n = 0 then 128 else n in
+      let graph, _ = Kernels.Strassen_mdg.graph ~n () in
+      Some
+        {
+          name = Printf.sprintf "strassen matrix multiply (%dx%d)" n n;
+          graph;
+          kernels = Kernels.Strassen_mdg.kernels ~n;
+        }
+  | "strassen2" ->
+      let n = if n = 0 then 128 else n in
+      Some
+        {
+          name = Printf.sprintf "two-level strassen (%dx%d)" n n;
+          graph = Kernels.Strassen_mdg.graph_recursive ~levels:2 ~n;
+          kernels = Kernels.Strassen_mdg.kernels_recursive ~levels:2 ~n;
+        }
+  | "example" ->
+      Some
+        {
+          name = "paper figure-1 example";
+          graph = Kernels.Example_mdg.graph ();
+          kernels = [];
+        }
+  | _ -> None
+
+let load ?optimise spec =
+  if Sys.file_exists spec && not (Sys.is_directory spec) then
+    let* text = read_file spec in
+    of_source ?optimise ~name:spec text
+  else
+    let* base, n = with_size spec 0 in
+    match builtin base n with
+    | Some program -> Ok program
+    | None -> err "unknown program %S (expected %s)" spec spec_syntax

@@ -1,0 +1,27 @@
+(** Result-based program loading for drivers.
+
+    Resolves a program spec — a built-in generator name with an
+    optional size suffix ([complex[:N]], [strassen[:N]],
+    [strassen2[:N]], [example]) or a path to a matrix-program source
+    file — to a named MDG plus the kernel list needed for
+    calibration.  All failure modes (bad size suffix, unknown name,
+    unreadable file, parse error, invalid program) are reported as
+    [Error (`Msg ...)] rather than exceptions, so CLIs can print a
+    clean one-line diagnostic and exit non-zero. *)
+
+type t = {
+  name : string;                       (** human-readable description *)
+  graph : Mdg.Graph.t;
+  kernels : Mdg.Graph.kernel list;     (** distinct kernels, for
+                                           calibration; empty for the
+                                           synthetic example graph *)
+}
+
+val load : ?optimise:bool -> string -> (t, [> `Msg of string ]) result
+(** [load spec] resolves [spec].  If [spec] names an existing file it
+    is parsed as matrix-program source ([optimise], default false,
+    runs the front-end optimiser before lowering); otherwise it must
+    be a built-in name, with [:N] selecting the problem size. *)
+
+val spec_syntax : string
+(** One-line description of accepted specs, for usage/error text. *)

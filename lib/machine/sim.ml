@@ -21,6 +21,17 @@ type result = {
   messages_delivered : int;
 }
 
+let activity_label = function
+  | Busy_compute node -> Printf.sprintf "compute node %d" node
+  | Busy_send edge -> Printf.sprintf "send edge %d" edge
+  | Busy_recv edge -> Printf.sprintf "recv edge %d" edge
+  | Waiting edge -> Printf.sprintf "wait edge %d" edge
+
+let activity_category = function
+  | Busy_compute _ -> "compute"
+  | Busy_send _ | Busy_recv _ -> "communication"
+  | Waiting _ -> "idle"
+
 type event =
   | Advance of int  (* processor becomes free and looks at its next op *)
   | Deliver of { dst : int; edge : int; src : int; bytes : float }
@@ -31,9 +42,15 @@ type key = { k_dst : int; k_edge : int; k_src : int }
 
 let local_copy_per_byte = 0.5e-9
 
-let run ?topology gt program =
+let run ?topology ?(obs = Obs.null) ?(obs_pid = 1) gt program =
   Option.iter Topology.reset topology;
   let n = Program.procs program in
+  if Obs.enabled obs then begin
+    Obs.process_name obs ~pid:obs_pid "simulated multicomputer";
+    for p = 0 to n - 1 do
+      Obs.thread_name obs ~pid:obs_pid ~tid:p (Printf.sprintf "P%02d" p)
+    done
+  end;
   let code = Array.init n (fun p -> Array.of_list (Program.code program p)) in
   let pc = Array.make n 0 in
   let parked : (key, float) Hashtbl.t = Hashtbl.create 64 in
@@ -51,7 +68,13 @@ let run ?topology gt program =
       (match activity with
       | Busy_compute _ | Busy_send _ | Busy_recv _ ->
           busy.(proc) <- busy.(proc) +. (finish -. start)
-      | Waiting _ -> ())
+      | Waiting _ -> ());
+      (* Forward the segment to the telemetry sink on the simulated
+         clock, under the simulator's own pid. *)
+      if Obs.enabled obs then
+        Obs.complete obs ~pid:obs_pid ~tid:proc
+          ~cat:(activity_category activity)
+          (activity_label activity) ~ts:start ~dur:(finish -. start)
     end
   in
   let send_cost ~self ~dst ~bytes ~now =
@@ -150,6 +173,9 @@ let run ?topology gt program =
          (Printf.sprintf "processors %s blocked in Recv with no matching Send"
             (String.concat ", " (List.map string_of_int stuck))));
   let finish_time = Array.fold_left Float.max 0.0 proc_finish in
+  if Obs.enabled obs then
+    Obs.counter obs ~pid:obs_pid ~ts:finish_time "sim.messages_delivered"
+      [ ("count", float_of_int !delivered) ];
   {
     finish_time;
     proc_finish;

@@ -37,11 +37,30 @@ type result = {
   messages_delivered : int;
 }
 
-val run : ?topology:Topology.t -> Ground_truth.t -> Program.t -> result
+val activity_label : activity -> string
+(** Human-readable label, e.g. ["compute node 3"]. *)
+
+val activity_category : activity -> string
+(** ["compute"], ["communication"] or ["idle"]. *)
+
+val run :
+  ?topology:Topology.t ->
+  ?obs:Obs.t ->
+  ?obs_pid:int ->
+  Ground_truth.t ->
+  Program.t ->
+  result
 (** [?topology] adds distance/contention delays on top of the ground
     truth's uniform base network (default: none — the paper's uniform
     assumption).  The topology's contention state is reset at the start
-    of the run. *)
+    of the run.
+
+    With a live [obs] sink (default {!Obs.null}: no overhead) the
+    simulator forwards its event trace as it runs: one process/thread
+    naming block, a [Complete] event per activity segment stamped in
+    simulated seconds, and a final ["sim.messages_delivered"] counter.
+    [obs_pid] (default 1) keeps the simulated timeline separate from
+    the compiler's wall-clock events (pid 0 by convention). *)
 
 val utilisation : result -> float
 (** Mean fraction of [finish_time] the processors spent busy. *)

@@ -1,42 +1,26 @@
-let label_of = function
-  | Sim.Busy_compute node -> Printf.sprintf "compute node %d" node
-  | Sim.Busy_send edge -> Printf.sprintf "send edge %d" edge
-  | Sim.Busy_recv edge -> Printf.sprintf "recv edge %d" edge
-  | Sim.Waiting edge -> Printf.sprintf "wait edge %d" edge
+let to_obs ?(pid = 0) ?(process_name = "simulated multicomputer") obs
+    (r : Sim.result) =
+  if Obs.enabled obs then begin
+    Obs.process_name obs ~pid process_name;
+    Array.iteri
+      (fun p _ -> Obs.thread_name obs ~pid ~tid:p (Printf.sprintf "P%02d" p))
+      r.busy;
+    List.iter
+      (fun (s : Sim.segment) ->
+        Obs.complete obs ~pid ~tid:s.proc
+          ~cat:(Sim.activity_category s.activity)
+          (Sim.activity_label s.activity)
+          ~ts:s.start ~dur:(s.finish -. s.start))
+      r.segments
+  end
 
-let category_of = function
-  | Sim.Busy_compute _ -> "compute"
-  | Sim.Busy_send _ | Sim.Busy_recv _ -> "communication"
-  | Sim.Waiting _ -> "idle"
-
-let to_json ?(process_name = "simulated multicomputer") (r : Sim.result) =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "[\n";
-  (* Metadata: name the process and one thread per processor. *)
-  Buffer.add_string buf
-    (Printf.sprintf
-       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"%s\"}}"
-       process_name);
-  Array.iteri
-    (fun p _ ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"P%02d\"}}"
-           p p))
-    r.busy;
-  List.iter
-    (fun (s : Sim.segment) ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}"
-           (label_of s.activity) (category_of s.activity) (s.start *. 1e6)
-           ((s.finish -. s.start) *. 1e6)
-           s.proc))
-    r.segments;
-  Buffer.add_string buf "\n]\n";
-  Buffer.contents buf
+let to_json ?process_name r =
+  let recorder = Obs.Recorder.create () in
+  to_obs ?process_name (Obs.Recorder.sink recorder) r;
+  Obs.Chrome_format.to_json (Obs.Recorder.events recorder)
 
 let save ?process_name path r =
   let oc = open_out path in
-  output_string oc (to_json ?process_name r);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json ?process_name r))

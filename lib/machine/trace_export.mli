@@ -1,9 +1,17 @@
-(** Export simulation traces to the Chrome trace-event JSON format, so
-    executions can be inspected in [chrome://tracing] / Perfetto.
+(** Export simulation traces through the {!Obs} telemetry subsystem.
 
-    Each processor becomes a thread; compute/send/receive/wait
-    segments become complete ("ph":"X") events with microsecond
-    timestamps. *)
+    {!to_obs} replays a finished {!Sim.result} into any sink — the
+    post-hoc counterpart of passing [?obs] to {!Sim.run} directly —
+    and {!to_json}/{!save} render a standalone Chrome trace-event
+    JSON file for [chrome://tracing] / Perfetto.  Each processor
+    becomes a thread; compute/send/receive/wait segments become
+    complete ("ph":"X") events with microsecond timestamps. *)
+
+val to_obs : ?pid:int -> ?process_name:string -> Obs.t -> Sim.result -> unit
+(** Emit process/thread metadata and one [Complete] event per
+    activity segment (simulated seconds) into the sink.  [pid]
+    defaults to 0 for standalone exports; pick a distinct pid when
+    mixing with other timelines. *)
 
 val to_json : ?process_name:string -> Sim.result -> string
 (** The trace as a JSON array of event objects. *)

@@ -1,0 +1,55 @@
+let us t = t *. 1e6
+
+let event_to_json (ev : Events.t) =
+  match ev with
+  | Complete { name; cat; pid; tid; ts; dur; args } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d%s}"
+        (Events.json_escape name)
+        (Events.json_escape (if cat = "" then "default" else cat))
+        (us ts) (us dur) pid tid
+        (match args with
+        | [] -> ""
+        | _ -> ",\"args\":" ^ Events.args_to_json args)
+  | Instant { name; cat; pid; tid; ts; args } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d%s}"
+        (Events.json_escape name)
+        (Events.json_escape (if cat = "" then "default" else cat))
+        (us ts) pid tid
+        (match args with
+        | [] -> ""
+        | _ -> ",\"args\":" ^ Events.args_to_json args)
+  | Counter { name; pid; tid; ts; series } ->
+      let args =
+        Events.args_to_json
+          (List.map (fun (k, v) -> (k, Events.Float v)) series)
+      in
+      Printf.sprintf
+        "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":%s}"
+        (Events.json_escape name) (us ts) pid tid args
+  | Process_name { pid; name } ->
+      Printf.sprintf
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+        pid (Events.json_escape name)
+  | Thread_name { pid; tid; name } ->
+      Printf.sprintf
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+        pid tid (Events.json_escape name)
+
+let to_json events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (event_to_json ev))
+    events;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let save path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json events))

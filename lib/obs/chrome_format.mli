@@ -1,0 +1,19 @@
+(** Chrome trace-event JSON rendering of recorded telemetry.
+
+    Produces the array-of-objects format understood by
+    [chrome://tracing] and Perfetto.  Timestamps are converted from
+    seconds to microseconds; [Complete] events become ["ph":"X"],
+    [Instant] events ["ph":"i"], [Counter] events ["ph":"C"], and the
+    metadata events ["ph":"M"] process/thread names.  Distinct [pid]s
+    render as separate processes, which is how the compiler's
+    wall-clock timeline and the machine's simulated timeline coexist
+    in one file. *)
+
+val event_to_json : Events.t -> string
+(** One event as a JSON object (no trailing separator). *)
+
+val to_json : Events.t list -> string
+(** The whole trace as a JSON array. *)
+
+val save : string -> Events.t list -> unit
+(** Write {!to_json} to a file path. *)

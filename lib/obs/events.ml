@@ -1,0 +1,81 @@
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type t =
+  | Complete of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      dur : float;
+      args : (string * value) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      args : (string * value) list;
+    }
+  | Counter of {
+      name : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      series : (string * float) list;
+    }
+  | Process_name of { pid : int; name : string }
+  | Thread_name of { pid : int; tid : int; name : string }
+
+let name = function
+  | Complete { name; _ } | Instant { name; _ } | Counter { name; _ } -> name
+  | Process_name _ -> "process_name"
+  | Thread_name _ -> "thread_name"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if not (Float.is_finite v) then "0"
+  else
+    (* %.12g round-trips every value we emit while staying compact for
+       the common small integers and powers of ten. *)
+    let s = Printf.sprintf "%.12g" v in
+    (* "nan"/"inf" are caught above; %g never emits a leading '+'. *)
+    s
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Float f -> json_float f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Bool b -> if b then "true" else "false"
+
+let args_to_json args =
+  match args with
+  | [] -> "{}"
+  | _ ->
+      let fields =
+        List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\":%s" (json_escape k) (value_to_json v))
+          args
+      in
+      "{" ^ String.concat "," fields ^ "}"

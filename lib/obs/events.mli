@@ -1,0 +1,58 @@
+(** Telemetry events.
+
+    A single event vocabulary covers the whole pipeline: wall-clock
+    spans of compiler phases, counters sampled by the convex solver,
+    instants recording PSA decisions, and simulated-time segments
+    forwarded from the machine simulator.  Timestamps and durations
+    are in seconds; the origin is the emitter's choice (wall time
+    since process start for compiler events, simulated time for
+    machine events) and the [pid] field keeps the timelines apart. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type t =
+  | Complete of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;   (** start, seconds *)
+      dur : float;  (** duration, seconds *)
+      args : (string * value) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      args : (string * value) list;
+    }
+  | Counter of {
+      name : string;
+      pid : int;
+      tid : int;
+      ts : float;
+      series : (string * float) list;
+    }
+  | Process_name of { pid : int; name : string }
+  | Thread_name of { pid : int; tid : int; name : string }
+
+val name : t -> string
+(** The event name ([process_name]/[thread_name] for metadata). *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion between double quotes in JSON. *)
+
+val json_float : float -> string
+(** Compact JSON number for a float (non-finite values become [0]). *)
+
+val value_to_json : value -> string
+(** One argument value as a JSON literal. *)
+
+val args_to_json : (string * value) list -> string
+(** An argument list as a JSON object, [{}] when empty. *)

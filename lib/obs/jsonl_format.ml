@@ -1,0 +1,34 @@
+let to_line (ev : Events.t) =
+  match ev with
+  | Complete { name; cat; pid; tid; ts; dur; args } ->
+      Printf.sprintf
+        "{\"type\":\"complete\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":%s}"
+        (Events.json_escape name) (Events.json_escape cat) pid tid
+        (Events.json_float ts) (Events.json_float dur)
+        (Events.args_to_json args)
+  | Instant { name; cat; pid; tid; ts; args } ->
+      Printf.sprintf
+        "{\"type\":\"instant\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"args\":%s}"
+        (Events.json_escape name) (Events.json_escape cat) pid tid
+        (Events.json_float ts) (Events.args_to_json args)
+  | Counter { name; pid; tid; ts; series } ->
+      Printf.sprintf
+        "{\"type\":\"counter\",\"name\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"values\":%s}"
+        (Events.json_escape name) pid tid (Events.json_float ts)
+        (Events.args_to_json
+           (List.map (fun (k, v) -> (k, Events.Float v)) series))
+  | Process_name { pid; name } ->
+      Printf.sprintf "{\"type\":\"process_name\",\"pid\":%d,\"name\":\"%s\"}"
+        pid (Events.json_escape name)
+  | Thread_name { pid; tid; name } ->
+      Printf.sprintf
+        "{\"type\":\"thread_name\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\"}" pid
+        tid (Events.json_escape name)
+
+let sink oc =
+  Sink.make
+    ~emit:(fun ev ->
+      output_string oc (to_line ev);
+      output_char oc '\n')
+    ~flush:(fun () -> flush oc)
+    ()

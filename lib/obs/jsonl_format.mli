@@ -1,0 +1,11 @@
+(** JSON-lines rendering: one self-describing JSON object per event,
+    one event per line.  Unlike the Chrome format this needs no
+    buffering, so {!sink} streams events to a channel as they are
+    emitted — suitable for tailing a live run. *)
+
+val to_line : Events.t -> string
+(** One event as a single-line JSON object (no newline). *)
+
+val sink : out_channel -> Sink.t
+(** A sink writing each event as one line to the channel.  [flush]
+    flushes the channel; the channel is not closed. *)

@@ -1,0 +1,18 @@
+type t = { mutable rev : Events.t list; mutable count : int }
+
+let create () = { rev = []; count = 0 }
+
+let sink t =
+  Sink.make
+    ~emit:(fun ev ->
+      t.rev <- ev :: t.rev;
+      t.count <- t.count + 1)
+    ()
+
+let events t = List.rev t.rev
+
+let length t = t.count
+
+let clear t =
+  t.rev <- [];
+  t.count <- 0

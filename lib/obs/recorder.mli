@@ -1,0 +1,19 @@
+(** In-memory event recorder.
+
+    The backing store for post-hoc exporters (Chrome trace, metric
+    summaries) and for tests: create a recorder, pass {!sink} to the
+    instrumented code, then read {!events} back in emission order. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Sink.t
+(** A sink appending every event to [t]. *)
+
+val events : t -> Events.t list
+(** Recorded events, oldest first. *)
+
+val length : t -> int
+
+val clear : t -> unit

@@ -1,0 +1,29 @@
+type t =
+  | Null
+  | Sink of { emit : Events.t -> unit; flush : unit -> unit }
+
+let null = Null
+
+let make ~emit ?(flush = fun () -> ()) () = Sink { emit; flush }
+
+let enabled = function Null -> false | Sink _ -> true
+
+let emit t ev = match t with Null -> () | Sink s -> s.emit ev
+
+let flush = function Null -> () | Sink s -> s.flush ()
+
+let tee a b =
+  match (a, b) with
+  | Null, s | s, Null -> s
+  | Sink x, Sink y ->
+      Sink
+        {
+          emit =
+            (fun ev ->
+              x.emit ev;
+              y.emit ev);
+          flush =
+            (fun () ->
+              x.flush ();
+              y.flush ());
+        }

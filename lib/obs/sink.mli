@@ -1,0 +1,28 @@
+(** Pluggable event sinks.
+
+    A sink is either [Null] — the disabled path, guaranteed to be a
+    no-op so instrumented code costs nothing when telemetry is off —
+    or a pair of [emit]/[flush] callbacks.  Instrumentation sites
+    should guard argument construction with {!enabled} so the [Null]
+    path allocates nothing. *)
+
+type t =
+  | Null
+  | Sink of { emit : Events.t -> unit; flush : unit -> unit }
+
+val null : t
+(** The disabled sink: [emit]/[flush] do nothing. *)
+
+val make : emit:(Events.t -> unit) -> ?flush:(unit -> unit) -> unit -> t
+(** A sink from callbacks ([flush] defaults to a no-op). *)
+
+val enabled : t -> bool
+(** [false] exactly for {!null}. *)
+
+val emit : t -> Events.t -> unit
+
+val flush : t -> unit
+
+val tee : t -> t -> t
+(** A sink forwarding every event to both arguments.  [tee null s]
+    and [tee s null] are [s] itself. *)

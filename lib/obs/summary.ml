@@ -1,0 +1,46 @@
+type row = {
+  name : string;
+  count : int;
+  total_dur : float;
+  last : (string * float) list;
+}
+
+let of_events events =
+  let tbl : (string, row) Hashtbl.t = Hashtbl.create 16 in
+  let touch name f =
+    let row =
+      Option.value
+        (Hashtbl.find_opt tbl name)
+        ~default:{ name; count = 0; total_dur = 0.0; last = [] }
+    in
+    Hashtbl.replace tbl name (f { row with count = row.count + 1 })
+  in
+  List.iter
+    (fun (ev : Events.t) ->
+      match ev with
+      | Events.Complete { name; dur; _ } ->
+          touch name (fun r -> { r with total_dur = r.total_dur +. dur })
+      | Events.Instant { name; _ } -> touch name Fun.id
+      | Events.Counter { name; series; _ } ->
+          touch name (fun r -> { r with last = series })
+      | Events.Process_name _ | Events.Thread_name _ -> ())
+    events;
+  Hashtbl.fold (fun _ row acc -> row :: acc) tbl []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let to_string rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %8s %14s  %s\n" "event" "count" "total (s)"
+       "last sample");
+  List.iter
+    (fun r ->
+      let last =
+        String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) r.last)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %8d %14.6f  %s\n" r.name r.count r.total_dur
+           last))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Aggregate view of a recorded event stream, for the [--metrics]
+    CLI flag and quick test assertions: per event name, how many
+    events were emitted, total span time, and the last sampled value
+    of each counter series. *)
+
+type row = {
+  name : string;
+  count : int;                      (** events with this name *)
+  total_dur : float;                (** summed [Complete] durations, s *)
+  last : (string * float) list;     (** last [Counter] sample, if any *)
+}
+
+val of_events : Events.t list -> row list
+(** Rows sorted by name.  Metadata events are ignored. *)
+
+val to_string : row list -> string
+(** A human-readable table. *)

@@ -65,10 +65,13 @@ let test_recursive_schedulable () =
   in
   (* A low-effort solve suffices: this test validates schedulability
      and simulation of the big graph, not allocation optimality. *)
-  let solver_options =
-    { Convex.Solver.default_options with max_iters = 40; mu_final = 1e-3 }
+  let config =
+    Core.Pipeline.(
+      default_config
+      |> with_solver_options
+           { Convex.Solver.default_options with max_iters = 40; mu_final = 1e-3 })
   in
-  let plan = Core.Pipeline.plan ~solver_options params g ~procs:64 in
+  let plan = Core.Pipeline.plan ~config params g ~procs:64 in
   (match Core.Schedule.validate params plan.graph plan.psa.schedule with
   | Ok () -> ()
   | Error msgs -> Alcotest.fail (String.concat "; " msgs));

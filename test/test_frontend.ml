@@ -199,6 +199,74 @@ let test_lower_end_to_end () =
      /. sim.finish_time
     < 0.3)
 
+(* ------------------------------------------------------------------ *)
+(* Loader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let loader_error spec =
+  match Loader.load spec with
+  | Ok _ -> Alcotest.failf "expected %S to fail to load" spec
+  | Error (`Msg msg) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error message is non-empty" spec)
+        true
+        (String.length msg > 0);
+      msg
+
+let test_loader_builtins () =
+  List.iter
+    (fun (spec, expect_kernels) ->
+      match Loader.load spec with
+      | Error (`Msg msg) -> Alcotest.failf "%S failed: %s" spec msg
+      | Ok p ->
+          Alcotest.(check bool)
+            (spec ^ " has nodes") true
+            (Mdg.Graph.num_nodes p.graph > 0);
+          Alcotest.(check bool)
+            (spec ^ " kernel list") expect_kernels (p.kernels <> []))
+    [
+      ("complex", true);
+      ("complex:32", true);
+      ("strassen:64", true);
+      ("strassen2:32", true);
+      ("example", false);
+    ]
+
+let test_loader_bad_size () =
+  let msg = loader_error "complex:abc" in
+  Alcotest.(check bool) "mentions the bad size" true
+    (let contains hay needle =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i =
+         i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+       in
+       go 0
+     in
+     contains msg "abc");
+  ignore (loader_error "complex:0");
+  ignore (loader_error "complex:-4")
+
+let test_loader_unknown () =
+  ignore (loader_error "no-such-program");
+  ignore (loader_error "/nonexistent/path/program.mp")
+
+let test_loader_file () =
+  let path = Filename.temp_file "loader_test" ".mp" in
+  let oc = open_out path in
+  output_string oc "size 32\nA = init\nB = init\nC = A * B\n";
+  close_out oc;
+  (match Loader.load path with
+  | Error (`Msg msg) -> Alcotest.failf "file load failed: %s" msg
+  | Ok p ->
+      Alcotest.(check string) "named after the file" path p.name;
+      Alcotest.(check bool) "has nodes" true (Mdg.Graph.num_nodes p.graph > 0));
+  (* Malformed source must surface as a clean error, not an exception. *)
+  let oc = open_out path in
+  output_string oc "size 32\nA = init\nB = A $ A\n";
+  close_out oc;
+  ignore (loader_error path);
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "ast: valid program" `Quick test_ast_valid;
@@ -220,4 +288,11 @@ let suite =
     Alcotest.test_case "lower: dependence list" `Quick test_lower_dependence_list;
     Alcotest.test_case "lower: end-to-end compile+simulate" `Slow
       test_lower_end_to_end;
+    Alcotest.test_case "loader: builtins" `Quick test_loader_builtins;
+    Alcotest.test_case "loader: bad size is a clean error" `Quick
+      test_loader_bad_size;
+    Alcotest.test_case "loader: unknown spec is a clean error" `Quick
+      test_loader_unknown;
+    Alcotest.test_case "loader: file round-trip and parse error" `Quick
+      test_loader_file;
   ]

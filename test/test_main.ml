@@ -15,6 +15,7 @@ let () =
       ("network", Test_network.suite);
       ("extensions2", Test_extensions2.suite);
       ("interp", Test_interp.suite);
+      ("obs", Test_obs.suite);
       ("expand", Test_expand.suite);
       ("integration", Test_integration.suite);
     ]
