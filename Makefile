@@ -1,7 +1,7 @@
 # Development entry points.  `make verify` is the tier-1 gate: build,
 # test, and (when ocamlformat is installed) formatting drift.
 
-.PHONY: all build test fmt fmt-apply verify clean
+.PHONY: all build test fmt fmt-apply verify bench-quick clean
 
 all: build
 
@@ -28,6 +28,12 @@ fmt-apply:
 	fi
 
 verify: build test fmt
+
+# Quick performance sanity: micro-benchmarks (tape vs legacy
+# eval_grad among them) plus the scale experiment at smoke levels 1-2.
+bench-quick: build
+	dune exec bench/main.exe -- micro
+	dune exec bench/main.exe -- scale-quick
 
 clean:
 	dune clean

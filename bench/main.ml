@@ -41,10 +41,21 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Numeric.Mat.matmul mat_a mat_b)));
     Test.make ~name:"kernel: one-level Strassen 64x64"
       (Staged.stage (fun () -> ignore (Kernels.Dense.strassen_one_level mat_a mat_b)));
-    Test.make ~name:"objective: eval_grad on strassen expr"
+    Test.make ~name:"objective: legacy Expr.eval_grad on strassen expr"
       (let obj = Core.Allocation.objective params st_graph ~procs:64 in
        let x = Array.map log st_alloc in
        Staged.stage (fun () -> ignore (Convex.Expr.eval_grad ~mu:1e-4 obj x)));
+    Test.make ~name:"objective: tape eval_grad on strassen expr"
+      (let obj = Core.Allocation.objective params st_graph ~procs:64 in
+       let tape = Convex.Tape.compile obj in
+       let ws = Convex.Tape.create_workspace tape in
+       let x = Array.map log st_alloc in
+       let grad = Array.make (Array.length x) 0.0 in
+       Staged.stage (fun () ->
+           ignore (Convex.Tape.eval_grad ~mu:1e-4 tape ws ~x ~grad)));
+    Test.make ~name:"objective: tape compile (strassen)"
+      (let obj = Core.Allocation.objective params st_graph ~procs:64 in
+       Staged.stage (fun () -> ignore (Convex.Tape.compile obj)));
   ]
 
 let run_micro () =
@@ -79,5 +90,6 @@ let () =
   | [| _; name |] -> (Experiments.by_name name) ()
   | _ ->
       prerr_endline
-        "usage: main.exe [fig1|tab1|fig3|tab2|fig5|fig6|fig7|fig8|fig9|tab3|ablate|micro]";
+        "usage: main.exe \
+         [fig1|tab1|fig3|tab2|fig5|fig6|fig7|fig8|fig9|tab3|ablate|static|heuristics|topology|scale|scale-quick|expand|micro]";
       exit 2

@@ -9,6 +9,21 @@ type node =
 
 and t = { id : int; node : node }
 
+type view =
+  | V_const of float
+  | V_term of { coeff : float; expts : (int * float) array }
+  | V_sum of t array
+  | V_max of t array
+  | V_scale of float * t
+
+let view e =
+  match e.node with
+  | Const c -> V_const c
+  | Term { coeff; expts } -> V_term { coeff; expts }
+  | Sum es -> V_sum es
+  | Max es -> V_max es
+  | Scale (c, e') -> V_scale (c, e')
+
 let id e = e.id
 
 let counter = ref 0

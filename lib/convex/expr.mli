@@ -18,6 +18,18 @@
 
 type t
 
+type view =
+  | V_const of float
+  | V_term of { coeff : float; expts : (int * float) array }
+  | V_sum of t array
+  | V_max of t array
+  | V_scale of float * t
+      (** One-level structural view of a node, for compilers over the
+          DAG (see {!Tape}).  The arrays are the node's own storage —
+          treat them as read-only. *)
+
+val view : t -> view
+
 val id : t -> int
 (** Unique node identifier (for memo tables and testing). *)
 

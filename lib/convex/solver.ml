@@ -37,6 +37,30 @@ type result = {
   converged : bool;
 }
 
+type compiled = {
+  expr : Expr.t;
+  tape : Tape.t;
+  ws : Tape.workspace;
+}
+
+let compile ?(obs = Obs.null) expr =
+  Obs.span obs ~cat:"solver" "solver.compile" @@ fun () ->
+  let tape = Tape.compile expr in
+  if Obs.enabled obs then
+    Obs.counter obs "solver.tape"
+      [
+        ("dag_nodes", float_of_int (Expr.num_nodes expr));
+        ("slots", float_of_int (Tape.num_slots tape));
+        ("term_entries", float_of_int (Tape.num_term_entries tape));
+        ("children", float_of_int (Tape.num_children tape));
+        ("vars", float_of_int (Tape.n_vars tape));
+      ];
+  { expr; tape; ws = Tape.create_workspace tape }
+
+let eval_compiled ?(mu = 0.0) c x = Tape.eval ~mu c.tape c.ws x
+
+type engine = Tape | Precompiled of compiled | Reference
+
 let validate { objective; lo; hi } =
   let n = Vec.dim lo in
   if Vec.dim hi <> n then invalid_arg "Solver.solve: lo/hi dimension mismatch";
@@ -46,56 +70,73 @@ let validate { objective; lo; hi } =
   if Expr.max_var objective >= n then
     invalid_arg "Solver.solve: objective references variables outside the box"
 
+let clamp1 lo hi v = if v < lo then lo else if v > hi then hi else v
+
 (* One stage of accelerated projected gradient descent (FISTA with
    function-value restart) with Armijo backtracking, at a fixed
-   smoothing temperature.  Returns (x, iterations, hit_tol,
-   backtracks) where [backtracks] counts line-search shrink steps.
+   smoothing temperature.  [x] (the current iterate), [y] (the
+   momentum point), [g] (the gradient) and [cand] (the line-search
+   probe) are caller-owned buffers reused across stages; [x] is
+   updated in place.  [f]/[fg] evaluate the objective (and write its
+   gradient into [g]).  Returns (iterations, hit_tol, backtracks).
 
    The momentum point [y] may leave the box; the objective is defined
    on all of R^n (sums of exponentials), so evaluating there is fine —
    the prox step projects back. *)
-let stage ~opts ~mu ~objective ~lo ~hi x0 =
-  let project v = Vec.clamp ~lo ~hi v in
-  let x = ref (project x0) in
-  let y = ref !x in
+let stage ~opts ~mu ~f ~fg ~lo ~hi ~x ~y ~g ~cand =
+  let n = Vec.dim x in
+  for i = 0 to n - 1 do
+    x.(i) <- clamp1 lo.(i) hi.(i) x.(i)
+  done;
+  Array.blit x 0 y 0 n;
   let t = ref 1.0 in
   let step = ref opts.step_init in
-  let fx = ref (Expr.eval ~mu objective !x) in
+  let fx = ref (f ~mu x) in
   let iters = ref 0 in
   let backtracks = ref 0 in
   let hit_tol = ref false in
   (try
      for _ = 1 to opts.max_iters do
        incr iters;
-       let f_y, g = Expr.eval_grad ~mu objective !y in
+       let f_y = fg ~mu y in
        (* Backtracking on the projected-arc step from y. *)
        let rec search step_try tries =
          if tries = 0 then None
-         else
-           let cand = project (Vec.sub !y (Vec.scale step_try g)) in
-           let fc = Expr.eval ~mu objective cand in
-           let d = Vec.sub !y cand in
-           if fc <= f_y -. (opts.armijo_c /. step_try *. Vec.dot d d) then
-             Some (cand, fc, step_try)
+         else begin
+           let dd = ref 0.0 in
+           for i = 0 to n - 1 do
+             let ci = clamp1 lo.(i) hi.(i) (y.(i) -. (step_try *. g.(i))) in
+             cand.(i) <- ci;
+             let d = y.(i) -. ci in
+             dd := !dd +. (d *. d)
+           done;
+           let fc = f ~mu cand in
+           if fc <= f_y -. (opts.armijo_c /. step_try *. !dd) then
+             Some (fc, step_try)
            else begin
              incr backtracks;
              search (step_try *. opts.armijo_shrink) (tries - 1)
            end
+         end
        in
        match search !step 60 with
        | None ->
            hit_tol := true;
            raise Exit
-       | Some (cand, fc, used_step) ->
+       | Some (fc, used_step) ->
            (* Let the step grow back after a successful iteration so a
               single steep region does not clamp it forever. *)
            step := Float.min (used_step *. 2.0) (opts.step_init *. 1e3);
-           let move = Vec.norm_inf (Vec.sub cand !x) in
+           let move = ref 0.0 in
+           for i = 0 to n - 1 do
+             let d = Float.abs (cand.(i) -. x.(i)) in
+             if d > !move then move := d
+           done;
            if fc > !fx then begin
              (* Momentum overshot: restart from the best iterate. *)
              t := 1.0;
-             y := !x;
-             if move < opts.tol then begin
+             Array.blit x 0 y 0 n;
+             if !move < opts.tol then begin
                hit_tol := true;
                raise Exit
              end
@@ -103,40 +144,70 @@ let stage ~opts ~mu ~objective ~lo ~hi x0 =
            else begin
              let t' = (1.0 +. sqrt (1.0 +. (4.0 *. !t *. !t))) /. 2.0 in
              let beta = (!t -. 1.0) /. t' in
-             y := Vec.add cand (Vec.scale beta (Vec.sub cand !x));
+             for i = 0 to n - 1 do
+               y.(i) <- cand.(i) +. (beta *. (cand.(i) -. x.(i)));
+               x.(i) <- cand.(i)
+             done;
              t := t';
-             x := cand;
              fx := fc;
-             if move < opts.tol then begin
+             if !move < opts.tol then begin
                hit_tol := true;
                raise Exit
              end
            end
      done
    with Exit -> ());
-  (!x, !iters, !hit_tol, !backtracks)
+  (!iters, !hit_tol, !backtracks)
 
-let solve ?(options = default_options) ?(obs = Obs.null) ?x0 problem =
+let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
+    problem =
   validate problem;
   let { objective; lo; hi } = problem in
   let n = Vec.dim lo in
-  let x0 =
+  let x =
     match x0 with
     | Some x ->
         if Vec.dim x <> n then invalid_arg "Solver.solve: x0 dimension mismatch";
         Vec.clamp ~lo ~hi x
     | None -> Vec.init n (fun i -> (lo.(i) +. hi.(i)) /. 2.0)
   in
+  (* Evaluation engine: the flat tape (compiled here unless the caller
+     already did) is the fast path; [Reference] keeps the memoised
+     DAG-walking {!Expr} implementation callable for cross-checks. *)
+  let g = Vec.create n 0.0 in
+  let f, fg =
+    match engine with
+    | Tape | Precompiled _ ->
+        let c =
+          match engine with
+          | Precompiled c ->
+              if Tape.n_vars c.tape > n then
+                invalid_arg
+                  "Solver.solve: precompiled tape references variables outside \
+                   the box";
+              c
+          | _ -> compile ~obs objective
+        in
+        ( (fun ~mu x -> Tape.eval ~mu c.tape c.ws x),
+          fun ~mu x -> Tape.eval_grad ~mu c.tape c.ws ~x ~grad:g )
+    | Reference ->
+        ( (fun ~mu x -> Expr.eval ~mu objective x),
+          fun ~mu x ->
+            let v, g' = Expr.eval_grad ~mu objective x in
+            Array.blit g' 0 g 0 n;
+            v )
+  in
   Obs.span obs ~cat:"solver" "solver.solve"
     ~args:[ ("vars", Obs.Events.Int n) ]
   @@ fun () ->
+  let y = Vec.create n 0.0 in
+  let cand = Vec.create n 0.0 in
   (* Scale smoothing temperatures by the magnitude of the objective so
      the anneal behaves the same for millisecond- and second-scale
      costs. *)
-  let f0 = Float.max (Float.abs (Expr.eval objective x0)) 1e-30 in
+  let f0 = Float.max (Float.abs (f ~mu:0.0 x)) 1e-30 in
   let mu_init = options.mu_init *. f0 in
   let mu_final = options.mu_final *. f0 in
-  let x = ref x0 in
   let total_iters = ref 0 in
   let stages_done = ref 0 in
   let last_obj = ref Float.nan in
@@ -145,7 +216,7 @@ let solve ?(options = default_options) ?(obs = Obs.null) ?x0 problem =
      The extra exact evaluation only happens with a live sink. *)
   let report ~mu ~iters ~backtracks =
     if Obs.enabled obs then begin
-      let f_exact = Expr.eval objective !x in
+      let f_exact = f ~mu:0.0 x in
       let decrease =
         if Float.is_nan !last_obj then 0.0 else !last_obj -. f_exact
       in
@@ -161,32 +232,29 @@ let solve ?(options = default_options) ?(obs = Obs.null) ?x0 problem =
         ]
     end
   in
+  let run_stage mu =
+    let iters, ok, backtracks =
+      stage ~opts:options ~mu ~f ~fg ~lo ~hi ~x ~y ~g ~cand
+    in
+    total_iters := !total_iters + iters;
+    incr stages_done;
+    report ~mu ~iters ~backtracks;
+    ok
+  in
   let mu = ref mu_init in
   let continue = ref true in
   while !continue do
-    let x', iters, _, backtracks =
-      stage ~opts:options ~mu:!mu ~objective ~lo ~hi !x
-    in
-    x := x';
-    total_iters := !total_iters + iters;
-    incr stages_done;
-    report ~mu:!mu ~iters ~backtracks;
+    ignore (run_stage !mu);
     if !mu <= mu_final then continue := false
     else mu := Float.max (!mu *. options.mu_decay) mu_final
   done;
   (* Finish with one exact (subgradient) polishing stage; convergence is
      judged on this final stage (intermediate smoothed stages need not
      reach full tolerance to anneal onward). *)
-  let x', iters, ok, backtracks =
-    stage ~opts:options ~mu:0.0 ~objective ~lo ~hi !x
-  in
-  x := x';
-  total_iters := !total_iters + iters;
-  incr stages_done;
-  report ~mu:0.0 ~iters ~backtracks;
+  let ok = run_stage 0.0 in
   {
-    x = !x;
-    value = Expr.eval objective !x;
+    x;
+    value = f ~mu:0.0 x;
     iterations = !total_iters;
     stages = !stages_done;
     converged = ok;

@@ -7,7 +7,15 @@
     backtracking, then the temperature shrinks.  Because the smoothed
     objective over-estimates the true one by at most [mu·ln k], the
     final iterate is within a vanishing additive gap of the global
-    minimum of the original problem. *)
+    minimum of the original problem.
+
+    The objective is compiled once per solve to a flat instruction
+    tape ({!Tape}) with reverse-mode gradients, so every FISTA
+    iteration, Armijo probe and per-stage exact evaluation costs
+    O(|tape|) and allocates nothing — instead of the O(n·|DAG|)
+    forward-mode sweep of {!Expr.eval_grad}.  The DAG-walking
+    implementation remains available as the [Reference] engine for
+    cross-checking. *)
 
 type problem = {
   objective : Expr.t;
@@ -39,11 +47,40 @@ type result = {
                               step tolerance *)
 }
 
+type compiled
+(** A tape-compiled objective together with its reusable evaluation
+    workspace.  Compile once per problem and share across solves and
+    exact evaluations; the workspace is mutable, so a [compiled] value
+    must not be used from two evaluators concurrently. *)
+
+val compile : ?obs:Obs.t -> Expr.t -> compiled
+(** Compile an objective to a flat tape (see {!Tape}).  With a live
+    [obs] sink the compilation is wrapped in a ["solver.compile"] span
+    and emits a ["solver.tape"] counter sampling the DAG and tape
+    sizes ([dag_nodes], [slots], [term_entries], [children], [vars]). *)
+
+val eval_compiled : ?mu:float -> compiled -> Numeric.Vec.t -> float
+(** Evaluate a compiled objective; equals {!Expr.eval} on the original
+    expression.  O(|tape|), allocation-free. *)
+
+type engine =
+  | Tape  (** compile the objective to a tape inside [solve] (default) *)
+  | Precompiled of compiled  (** reuse an existing {!compile} result *)
+  | Reference
+      (** the memoised DAG-walking {!Expr.eval} / {!Expr.eval_grad} —
+          the slow reference implementation, kept for cross-checks *)
+
 val solve :
-  ?options:options -> ?obs:Obs.t -> ?x0:Numeric.Vec.t -> problem -> result
+  ?options:options ->
+  ?engine:engine ->
+  ?obs:Obs.t ->
+  ?x0:Numeric.Vec.t ->
+  problem ->
+  result
 (** Solve the problem.  [x0] defaults to the box centre; it is projected
     into the box first.  Raises [Invalid_argument] if the box is empty
-    or dimensions disagree.
+    or dimensions disagree, or if a [Precompiled] tape references
+    variables outside the box.
 
     With a live [obs] sink (default {!Obs.null}: no overhead) the
     solve is wrapped in a ["solver.solve"] span and every smoothing

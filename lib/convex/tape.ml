@@ -1,0 +1,314 @@
+module Vec = Numeric.Vec
+
+(* Opcodes.  Each slot k reads:
+     op_const: value c.(k)
+     op_term : coeff c.(k), exponent segment [lo.(k), hi.(k)) of
+               term_var/term_expt
+     op_sum  : constant bias c.(k), child segment [lo.(k), hi.(k)) of child
+     op_max  : child segment [lo.(k), hi.(k)) of child
+     op_scale: factor c.(k), single child slot lo.(k)
+   Slots are in topological (children-first) order; the root is [root]. *)
+let op_const = 0
+
+let op_term = 1
+
+let op_sum = 2
+
+let op_max = 3
+
+let op_scale = 4
+
+type t = {
+  n_vars : int;
+  root : int;
+  op : int array;
+  lo : int array;
+  hi : int array;
+  c : float array;
+  term_var : int array;
+  term_expt : float array;
+  child : int array;
+}
+
+type workspace = {
+  v : float array;  (* per-slot values *)
+  adj : float array;  (* per-slot adjoints *)
+  w : float array;  (* softmax weights, parallel to [child] *)
+  s : float array;  (* scalar scratch (softmax normaliser) *)
+}
+
+(* Compile-time instruction forms, collected in reverse order and
+   flattened into the shared arrays afterwards. *)
+type instr =
+  | IConst of float
+  | ITerm of float * (int * float) array
+  | ISum of float * int array
+  | IMax of int array
+  | IScale of float * int
+
+let compile root_expr =
+  (* [const_val e] is [Some v] when the subtree at [e] contains no
+     variables, memoised per DAG node. *)
+  let const_memo : (int, float option) Hashtbl.t = Hashtbl.create 64 in
+  let rec const_val e =
+    match Hashtbl.find_opt const_memo (Expr.id e) with
+    | Some r -> r
+    | None ->
+        let r =
+          match Expr.view e with
+          | Expr.V_const c -> Some c
+          | Expr.V_term _ -> None
+          | Expr.V_scale (f, e') ->
+              Option.map (fun v -> f *. v) (const_val e')
+          | Expr.V_sum es ->
+              Array.fold_left
+                (fun acc e' ->
+                  match (acc, const_val e') with
+                  | Some a, Some v -> Some (a +. v)
+                  | _ -> None)
+                (Some 0.0) es
+          | Expr.V_max _ ->
+              (* Never foldable: the log-sum-exp smoothing makes even a
+                 max of constants depend on the evaluation-time [mu]. *)
+              None
+        in
+        Hashtbl.add const_memo (Expr.id e) r;
+        r
+  in
+  let instrs = ref [] in
+  let num_slots = ref 0 in
+  let push i =
+    instrs := i :: !instrs;
+    let slot = !num_slots in
+    incr num_slots;
+    slot
+  in
+  let slot_memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec emit e =
+    match Hashtbl.find_opt slot_memo (Expr.id e) with
+    | Some s -> s
+    | None ->
+        let slot =
+          match const_val e with
+          | Some v -> push (IConst v)
+          | None -> (
+              match Expr.view e with
+              | Expr.V_const c -> push (IConst c)
+              | Expr.V_term { coeff; expts } -> push (ITerm (coeff, expts))
+              | Expr.V_scale (f, e') ->
+                  let cs = emit e' in
+                  push (IScale (f, cs))
+              | Expr.V_sum es ->
+                  (* Fold constant summands into the bias; keep the
+                     construction order of the variable children. *)
+                  let bias = ref 0.0 in
+                  let kids = ref [] in
+                  Array.iter
+                    (fun e' ->
+                      match const_val e' with
+                      | Some v -> bias := !bias +. v
+                      | None -> kids := emit e' :: !kids)
+                    es;
+                  let kids = Array.of_list (List.rev !kids) in
+                  if !bias = 0.0 && Array.length kids = 1 then kids.(0)
+                  else push (ISum (!bias, kids))
+              | Expr.V_max es ->
+                  (* Constant branches stay as slots so the subgradient
+                     tie-break (first maximising branch, in order) and
+                     the softmax weighting match {!Expr} exactly. *)
+                  push (IMax (Array.map emit es)))
+        in
+        Hashtbl.add slot_memo (Expr.id e) slot;
+        slot
+  in
+  let root = emit root_expr in
+  let n = !num_slots in
+  let op = Array.make n 0 in
+  let lo = Array.make n 0 in
+  let hi = Array.make n 0 in
+  let c = Array.make n 0.0 in
+  let n_terms = ref 0 and n_children = ref 0 in
+  List.iter
+    (function
+      | ITerm (_, expts) -> n_terms := !n_terms + Array.length expts
+      | ISum (_, kids) | IMax kids -> n_children := !n_children + Array.length kids
+      | IConst _ | IScale _ -> ())
+    !instrs;
+  let term_var = Array.make !n_terms 0 in
+  let term_expt = Array.make !n_terms 0.0 in
+  let child = Array.make !n_children 0 in
+  let tpos = ref 0 and cpos = ref 0 in
+  List.iteri
+    (fun i instr ->
+      (* [instrs] is reversed: slot k lives at list position n-1-k. *)
+      let k = n - 1 - i in
+      match instr with
+      | IConst v ->
+          op.(k) <- op_const;
+          c.(k) <- v
+      | ITerm (coeff, expts) ->
+          op.(k) <- op_term;
+          c.(k) <- coeff;
+          (* Segments are filled right-to-left over the reversed list,
+             which keeps them contiguous; intra-segment order is
+             irrelevant to the (commutative) accumulations. *)
+          hi.(k) <- !n_terms - !tpos;
+          Array.iter
+            (fun (var, a) ->
+              incr tpos;
+              term_var.(!n_terms - !tpos) <- var;
+              term_expt.(!n_terms - !tpos) <- a)
+            expts;
+          lo.(k) <- !n_terms - !tpos
+      | ISum (bias, kids) ->
+          op.(k) <- op_sum;
+          c.(k) <- bias;
+          hi.(k) <- !n_children - !cpos;
+          Array.iter
+            (fun s ->
+              incr cpos;
+              child.(!n_children - !cpos) <- s)
+            kids;
+          lo.(k) <- !n_children - !cpos
+      | IMax kids ->
+          op.(k) <- op_max;
+          hi.(k) <- !n_children - !cpos;
+          (* Reverse fill preserves nothing; re-reverse so the segment
+             keeps construction order (the max tie-break needs it). *)
+          let m = Array.length kids in
+          for j = 0 to m - 1 do
+            child.(!n_children - !cpos - m + j) <- kids.(j)
+          done;
+          cpos := !cpos + m;
+          lo.(k) <- !n_children - !cpos
+      | IScale (f, s) ->
+          op.(k) <- op_scale;
+          c.(k) <- f;
+          lo.(k) <- s)
+    !instrs;
+  { n_vars = Expr.max_var root_expr + 1; root; op; lo; hi; c; term_var;
+    term_expt; child }
+
+let n_vars t = t.n_vars
+
+let num_slots t = Array.length t.op
+
+let num_term_entries t = Array.length t.term_var
+
+let num_children t = Array.length t.child
+
+let create_workspace t =
+  {
+    v = Array.make (Int.max 1 (num_slots t)) 0.0;
+    adj = Array.make (Int.max 1 (num_slots t)) 0.0;
+    w = Array.make (Int.max 1 (num_children t)) 0.0;
+    s = Array.make 1 0.0;
+  }
+
+let check_dim name t x =
+  if Vec.dim x < t.n_vars then
+    invalid_arg
+      (Printf.sprintf "Tape.%s: tape uses variable %d but x has dim %d" name
+         (t.n_vars - 1) (Vec.dim x))
+
+(* Forward sweep.  With [weights = true] (gradient path, mu > 0) the
+   normalised softmax weights of every max are stored in [ws.w] for
+   the reverse sweep.  Allocation-free: all accumulators live in the
+   workspace's flat float arrays. *)
+let forward ~mu ~weights t ws x =
+  let v = ws.v and w = ws.w and s = ws.s in
+  let n = Array.length t.op in
+  for k = 0 to n - 1 do
+    let o = t.op.(k) in
+    if o = op_term then begin
+      v.(k) <- 0.0;
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        v.(k) <- v.(k) +. (t.term_expt.(j) *. x.(t.term_var.(j)))
+      done;
+      v.(k) <- t.c.(k) *. exp v.(k)
+    end
+    else if o = op_sum then begin
+      v.(k) <- t.c.(k);
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        v.(k) <- v.(k) +. v.(t.child.(j))
+      done
+    end
+    else if o = op_max then begin
+      v.(k) <- neg_infinity;
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        if v.(t.child.(j)) > v.(k) then v.(k) <- v.(t.child.(j))
+      done;
+      if mu > 0.0 && Float.is_finite v.(k) then begin
+        (* v.(k) currently holds the shift m; s.(0) accumulates the
+           log-sum-exp normaliser. *)
+        s.(0) <- 0.0;
+        for j = t.lo.(k) to t.hi.(k) - 1 do
+          let e = exp ((v.(t.child.(j)) -. v.(k)) /. mu) in
+          if weights then w.(j) <- e;
+          s.(0) <- s.(0) +. e
+        done;
+        if weights then
+          for j = t.lo.(k) to t.hi.(k) - 1 do
+            w.(j) <- w.(j) /. s.(0)
+          done;
+        v.(k) <- v.(k) +. (mu *. log s.(0))
+      end
+    end
+    else if o = op_scale then v.(k) <- t.c.(k) *. v.(t.lo.(k))
+    else (* op_const *) v.(k) <- t.c.(k)
+  done;
+  v.(t.root)
+
+let eval ?(mu = 0.0) t ws x =
+  check_dim "eval" t x;
+  forward ~mu ~weights:false t ws x
+
+let eval_grad ?(mu = 0.0) t ws ~x ~grad =
+  check_dim "eval_grad" t x;
+  if Vec.dim grad <> Vec.dim x then
+    invalid_arg "Tape.eval_grad: grad/x dimension mismatch";
+  let value = forward ~mu ~weights:true t ws x in
+  let v = ws.v and adj = ws.adj and w = ws.w in
+  let n = Array.length t.op in
+  Array.fill adj 0 n 0.0;
+  Array.fill grad 0 (Vec.dim grad) 0.0;
+  adj.(t.root) <- 1.0;
+  for k = n - 1 downto 0 do
+    let a = adj.(k) in
+    if a <> 0.0 then begin
+      let o = t.op.(k) in
+      if o = op_term then
+        for j = t.lo.(k) to t.hi.(k) - 1 do
+          let i = t.term_var.(j) in
+          grad.(i) <- grad.(i) +. (a *. t.term_expt.(j) *. v.(k))
+        done
+      else if o = op_sum then
+        for j = t.lo.(k) to t.hi.(k) - 1 do
+          adj.(t.child.(j)) <- adj.(t.child.(j)) +. a
+        done
+      else if o = op_max then
+        if mu > 0.0 && Float.is_finite v.(k) then
+          for j = t.lo.(k) to t.hi.(k) - 1 do
+            adj.(t.child.(j)) <- adj.(t.child.(j)) +. (a *. w.(j))
+          done
+        else begin
+          (* Subgradient: the first maximising branch in construction
+             order, exactly as {!Expr.eval_grad} picks it.  [v.(k)] is
+             the exact max here, so equality finds that branch.  The
+             downward scan keeps the lowest index; the scratch cell
+             (not a ref) keeps this allocation-free. *)
+          ws.s.(0) <- -1.0;
+          for j = t.hi.(k) - 1 downto t.lo.(k) do
+            if v.(t.child.(j)) >= v.(k) then ws.s.(0) <- float_of_int j
+          done;
+          if ws.s.(0) >= 0.0 then begin
+            let j = int_of_float ws.s.(0) in
+            adj.(t.child.(j)) <- adj.(t.child.(j)) +. a
+          end
+        end
+      else if o = op_scale then
+        adj.(t.lo.(k)) <- adj.(t.lo.(k)) +. (a *. t.c.(k))
+      (* op_const: adjoint discarded *)
+    end
+  done;
+  value

@@ -1,0 +1,61 @@
+(** Flat-tape compilation of {!Expr} DAGs with reverse-mode gradients.
+
+    {!Expr.eval_grad} is forward-mode over the DAG: every node carries
+    a dense n-vector and every edge costs an O(n) [axpy], so one
+    gradient is O(n · |DAG|) work and O(|DAG|) heap vectors.  The
+    solver calls it thousands of times per problem, which is what
+    limits the allocator to toy MDGs.
+
+    [compile] walks the DAG once and emits a flat, topologically
+    sorted instruction array: constant subtrees are folded, constant
+    summands are fused into a per-[Sum] bias, and every [Term]'s
+    exponent list is flattened into shared index/exponent arrays.  A
+    reusable {!workspace} holds the per-slot value and adjoint buffers
+    plus a softmax-weight slab (sized at compile time) for the
+    smoothed [max].  Evaluation is one forward sweep over the tape;
+    the gradient is a forward sweep followed by a reverse (adjoint)
+    sweep that accumulates scalar adjoints straight into the caller's
+    output vector — O(|tape|) total, with zero heap allocation once
+    the workspace exists.
+
+    Semantics match {!Expr.eval} / {!Expr.eval_grad} exactly,
+    including the subgradient choice at [mu <= 0] (the first
+    maximising branch, in construction order) and the log-sum-exp
+    smoothing for [mu > 0]; the reference implementations remain in
+    {!Expr} and the test suite cross-checks the two. *)
+
+type t
+(** A compiled objective: immutable, shareable between workspaces. *)
+
+type workspace
+(** Mutable evaluation buffers for one tape.  Not thread-safe; create
+    one workspace per concurrent evaluator. *)
+
+val compile : Expr.t -> t
+(** One-shot compilation of the DAG reachable from the root. *)
+
+val create_workspace : t -> workspace
+(** Fresh buffers sized for the tape.  All subsequent [eval] /
+    [eval_grad] calls through this workspace are allocation-free. *)
+
+val n_vars : t -> int
+(** Number of variables the tape reads, i.e. {!Expr.max_var}[ + 1]. *)
+
+val num_slots : t -> int
+(** Number of instructions (distinct live DAG nodes after folding). *)
+
+val num_term_entries : t -> int
+(** Total flattened (variable, exponent) pairs across all terms. *)
+
+val num_children : t -> int
+(** Total flattened child references across all sums and maxima. *)
+
+val eval : ?mu:float -> t -> workspace -> Numeric.Vec.t -> float
+(** Forward sweep; equals {!Expr.eval}[ ~mu root x].  Raises
+    [Invalid_argument] if [x] is shorter than {!n_vars}. *)
+
+val eval_grad :
+  ?mu:float -> t -> workspace -> x:Numeric.Vec.t -> grad:Numeric.Vec.t -> float
+(** Forward + reverse sweep.  Overwrites [grad] (which must have the
+    same dimension as [x]) with the (sub)gradient and returns the
+    value; equals {!Expr.eval_grad}[ ~mu root x]. *)

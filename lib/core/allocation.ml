@@ -92,7 +92,7 @@ let critical_path_expr params g ~procs =
 let objective params g ~procs =
   E.max_ [ average_expr params g ~procs; critical_path_expr params g ~procs ]
 
-let solve ?options ?obs params g ~procs =
+let solve ?options ?(engine = `Tape) ?obs params g ~procs =
   check params g ~procs;
   let n = G.num_nodes g in
   let avg = average_expr params g ~procs in
@@ -100,11 +100,25 @@ let solve ?options ?obs params g ~procs =
   let obj = E.max_ [ avg; cp ] in
   let lo = Numeric.Vec.create n 0.0 in
   let hi = Numeric.Vec.create n (log (float_of_int procs)) in
-  let solver = Convex.Solver.solve ?options ?obs { objective = obj; lo; hi } in
+  (* Compile the objective to a flat tape once and drive both the
+     solve and the exact Φ evaluation through it; [`Reference] keeps
+     the DAG-walking path callable for consistency checks. *)
+  let solver_engine, eval_obj =
+    match engine with
+    | `Tape ->
+        let c = Convex.Solver.compile ?obs obj in
+        ( Convex.Solver.Precompiled c,
+          fun x -> Convex.Solver.eval_compiled c x )
+    | `Reference -> (Convex.Solver.Reference, fun x -> E.eval obj x)
+  in
+  let solver =
+    Convex.Solver.solve ?options ~engine:solver_engine ?obs
+      { objective = obj; lo; hi }
+  in
   let alloc = Array.map exp solver.x in
   {
     alloc;
-    phi = E.eval obj solver.x;
+    phi = eval_obj solver.x;
     average = E.eval avg solver.x;
     critical_path = E.eval cp solver.x;
     solver;

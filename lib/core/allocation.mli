@@ -38,6 +38,7 @@ val critical_path_expr :
 
 val solve :
   ?options:Convex.Solver.options ->
+  ?engine:[ `Tape | `Reference ] ->
   ?obs:Obs.t ->
   Costmodel.Params.t ->
   Mdg.Graph.t ->
@@ -47,7 +48,14 @@ val solve :
     graph is not normalised or [procs < 1]; raises [Not_found] if the
     parameter set lacks processing entries for a kernel in the
     graph.  [obs] (default {!Obs.null}) receives the underlying
-    solver's convergence telemetry — see {!Convex.Solver.solve}. *)
+    solver's convergence telemetry — see {!Convex.Solver.solve}.
+
+    [engine] (default [`Tape]) selects the objective evaluator: the
+    objective is compiled once to a flat tape ({!Convex.Tape}) that
+    drives every solver iteration and the exact Φ evaluation, or
+    [`Reference] for the original DAG-walking
+    {!Convex.Expr.eval_grad} path (orders of magnitude slower on
+    large MDGs; kept for cross-checking). *)
 
 val evaluate :
   Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> alloc:float array -> float

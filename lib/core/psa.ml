@@ -49,6 +49,10 @@ let apply_bound ~pb alloc =
 let list_schedule ~obs ~priority ~procs ~node_weight ~edge_weight ~alloc g =
   let n = G.num_nodes g in
   let avail = Array.make procs 0.0 in
+  (* Reusable buffer for selecting the k least-loaded processors —
+     the scheduler's hot path.  A partial selection over this single
+     array replaces the per-node [List.init] + full sort. *)
+  let order = Array.init procs (fun p -> p) in
   let finish = Array.make n 0.0 in
   let scheduled = Array.make n false in
   let remaining_preds = Array.make n 0 in
@@ -82,16 +86,28 @@ let list_schedule ~obs ~priority ~procs ~node_weight ~edge_weight ~alloc g =
     | None -> continue := false
     | Some ((_, _, node) as elt) ->
         ready := Ready.remove elt !ready;
-        let k = alloc.(node) in
-        (* Pick the k earliest-available processors (ties by id). *)
-        let by_avail =
-          List.init procs (fun p -> (avail.(p), p))
-          |> List.sort compare
-        in
-        let chosen =
-          List.filteri (fun idx _ -> idx < k) by_avail |> List.map snd
-          |> List.sort Int.compare |> Array.of_list
-        in
+        let k = Int.min alloc.(node) procs in
+        (* Pick the k earliest-available processors (ties by lowest
+           id): an in-place partial selection sort of [order] — only
+           the first k positions are ordered, and nothing is
+           allocated beyond the [chosen] array the schedule entry
+           keeps anyway. *)
+        for p = 0 to procs - 1 do
+          order.(p) <- p
+        done;
+        for j = 0 to k - 1 do
+          let best = ref j in
+          for l = j + 1 to procs - 1 do
+            let pl = order.(l) and pb = order.(!best) in
+            if avail.(pl) < avail.(pb) || (avail.(pl) = avail.(pb) && pl < pb)
+            then best := l
+          done;
+          let tmp = order.(j) in
+          order.(j) <- order.(!best);
+          order.(!best) <- tmp
+        done;
+        let chosen = Array.sub order 0 k in
+        Array.sort Int.compare chosen;
         let pst =
           Array.fold_left (fun acc p -> Float.max acc avail.(p)) 0.0 chosen
         in

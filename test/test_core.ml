@@ -271,6 +271,117 @@ let test_psa_fifo_ablation_no_better () =
   Alcotest.(check bool) "EST <= FIFO * 1.5" true
     (psa_est.t_psa <= psa_fifo.t_psa *. 1.5)
 
+(* The PSA's processor-selection hot path was rewritten from a
+   per-node list allocation + full sort to an in-place partial
+   selection.  This reference implementation is the original
+   list-based algorithm; schedules must be identical (same processor
+   sets, same times) on real MDGs and random workloads. *)
+let reference_list_schedule params g ~procs ~rounded =
+  let module Ready = Set.Make (struct
+    type t = float * int * int
+
+    let compare = compare
+  end) in
+  let n = G.num_nodes g in
+  let allocf i = float_of_int rounded.(i) in
+  let node_weight i = W.node_weight params g ~alloc:allocf i in
+  let edge_weight e = W.edge_weight params ~alloc:allocf e in
+  let avail = Array.make procs 0.0 in
+  let finish = Array.make n 0.0 in
+  let remaining_preds =
+    Array.init n (fun i -> List.length (G.preds g i))
+  in
+  let est = Array.make n 0.0 in
+  let ready = ref Ready.empty in
+  let seq = ref 0 in
+  let push node =
+    ready := Ready.add (est.(node), !seq, node) !ready;
+    incr seq
+  in
+  push (G.start_node g);
+  let entries = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Ready.min_elt_opt !ready with
+    | None -> continue := false
+    | Some ((_, _, node) as elt) ->
+        ready := Ready.remove elt !ready;
+        let k = rounded.(node) in
+        let by_avail =
+          List.init procs (fun p -> (avail.(p), p)) |> List.sort compare
+        in
+        let chosen =
+          List.filteri (fun idx _ -> idx < k) by_avail
+          |> List.map snd |> List.sort Int.compare |> Array.of_list
+        in
+        let pst =
+          Array.fold_left (fun acc p -> Float.max acc avail.(p)) 0.0 chosen
+        in
+        let start = Float.max est.(node) pst in
+        let fin = start +. node_weight node in
+        Array.iter (fun p -> avail.(p) <- fin) chosen;
+        finish.(node) <- fin;
+        entries :=
+          { Schedule.node; procs = chosen; start; finish = fin } :: !entries;
+        List.iter
+          (fun (e : G.edge) ->
+            remaining_preds.(e.dst) <- remaining_preds.(e.dst) - 1;
+            est.(e.dst) <-
+              Float.max est.(e.dst) (finish.(e.src) +. edge_weight e);
+            if remaining_preds.(e.dst) = 0 then push e.dst)
+          (G.succs g node)
+  done;
+  Schedule.make ~machine_procs:procs (List.rev !entries)
+
+let matrix_params kernels =
+  let p = synth_params () in
+  List.iter
+    (fun k ->
+      match k with
+      | G.Matrix_multiply _ -> P.set_processing p k { alpha = 0.12; tau = 0.3 }
+      | G.Matrix_add _ | G.Matrix_init _ ->
+          P.set_processing p k { alpha = 0.07; tau = 0.004 }
+      | G.Synthetic _ | G.Dummy -> ())
+    kernels;
+  p
+
+let test_psa_selection_matches_reference () =
+  let cases =
+    [
+      ( "complex-mm",
+        G.normalise (fst (Kernels.Complex_mm.graph ~n:64 ())),
+        matrix_params (Kernels.Complex_mm.kernels ~n:64) );
+      ( "strassen",
+        G.normalise (fst (Kernels.Strassen_mdg.graph ~n:128 ())),
+        matrix_params (Kernels.Strassen_mdg.kernels ~n:128) );
+      ( "random layered",
+        Kernels.Workloads.random_layered ~seed:7
+          { Kernels.Workloads.default_shape with layers = 4; width = 5 },
+        synth_params () );
+    ]
+  in
+  List.iter
+    (fun (name, g, params) ->
+      List.iter
+        (fun procs ->
+          let alloc = (Allocation.solve params g ~procs).alloc in
+          let psa = Psa.schedule params g ~procs ~alloc in
+          let reference =
+            reference_list_schedule params g ~procs
+              ~rounded:psa.rounded_alloc
+          in
+          List.iter2
+            (fun (a : Schedule.entry) (b : Schedule.entry) ->
+              let ctx = Printf.sprintf "%s p=%d node %d" name procs a.node in
+              Alcotest.(check int) (ctx ^ " node") b.node a.node;
+              Alcotest.(check (array int)) (ctx ^ " procs") b.procs a.procs;
+              check_close (ctx ^ " start") b.start a.start;
+              check_close (ctx ^ " finish") b.finish a.finish)
+            (Schedule.entries psa.schedule)
+            (Schedule.entries reference))
+        [ 4; 16; 64 ])
+    cases
+
 (* Theorem properties on random graphs. *)
 let theorem_prop ~name ~count check =
   QCheck.Test.make ~name ~count
@@ -448,6 +559,8 @@ let suite =
     Alcotest.test_case "psa: auto PB = Corollary 1" `Quick
       test_psa_auto_pb_matches_corollary;
     Alcotest.test_case "psa: lower bounds hold" `Quick test_psa_lower_bounds_hold;
+    Alcotest.test_case "psa: partial selection == reference sort" `Quick
+      test_psa_selection_matches_reference;
     Alcotest.test_case "psa: FIFO ablation sanity" `Quick
       test_psa_fifo_ablation_no_better;
     QCheck_alcotest.to_alcotest prop_theorem1;

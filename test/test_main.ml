@@ -5,6 +5,7 @@ let () =
     [
       ("numeric", Test_numeric.suite);
       ("convex", Test_convex.suite);
+      ("tape", Test_tape.suite);
       ("mdg", Test_mdg.suite);
       ("costmodel", Test_costmodel.suite);
       ("machine", Test_machine.suite);
