@@ -91,5 +91,5 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [fig1|tab1|fig3|tab2|fig5|fig6|fig7|fig8|fig9|tab3|ablate|static|heuristics|topology|scale|scale-quick|expand|micro]";
+         [fig1|tab1|fig3|tab2|fig5|fig6|fig7|fig8|fig9|tab3|ablate|sweep|static|heuristics|topology|scale|scale-quick|expand|micro]";
       exit 2

@@ -15,6 +15,10 @@ type options = {
   step_init : float;
   armijo_c : float;
   armijo_shrink : float;
+  second_order : bool;
+  fista_burst : int;
+  newton_max_iters : int;
+  cg_max_iters : int;
 }
 
 let default_options =
@@ -27,6 +31,10 @@ let default_options =
     step_init = 1.0;
     armijo_c = 1e-4;
     armijo_shrink = 0.5;
+    second_order = true;
+    fista_burst = 0;
+    newton_max_iters = 20;
+    cg_max_iters = 8;
   }
 
 type result = {
@@ -35,6 +43,8 @@ type result = {
   iterations : int;
   stages : int;
   converged : bool;
+  hvp_evals : int;
+  cg_iterations : int;
 }
 
 type compiled = {
@@ -159,6 +169,143 @@ let stage ~opts ~mu ~f ~fg ~lo ~hi ~x ~y ~g ~cand =
    with Exit -> ());
   (!iters, !hit_tol, !backtracks)
 
+(* One stage of projected (two-metric) Newton-CG at a fixed smoothing
+   temperature, taking over from the FISTA burst once first-order
+   progress stalls.  Each outer iteration computes the gradient,
+   freezes the active box faces (bound reached, gradient pushing
+   outward), solves [H d = -g] on the free variables by conjugate
+   gradients driven by tape Hessian-vector products ([hvp]), fills the
+   active components with steepest descent and backtracks along the
+   projected arc.  The CG is inexact (Eisenstat–Walker-style forcing),
+   so far from the optimum a handful of HVPs buy a Newton-quality
+   step, while near it the tolerance tightens for superlinear
+   convergence.  All buffers are caller-owned; [x] and [g] are updated
+   in place.  Returns (outer iterations, cg iterations, hvp count,
+   hit_tol). *)
+let newton_stage ~opts ~mu ~f ~fg ~hvp ~lo ~hi ~x ~g ~cand ~d ~r ~p ~hp ~free =
+  let n = Vec.dim x in
+  let outer = ref 0 and cg_total = ref 0 and hvps = ref 0 in
+  let hit_tol = ref false in
+  let f_prev = ref infinity in
+  (try
+     for _ = 1 to opts.newton_max_iters do
+       incr outer;
+       let fx = fg ~mu x in
+       (* Stationarity: the projected-gradient step length, plus an
+          objective-stall stop — with inexact CG the iterates can keep
+          inching below the step tolerance long after the objective has
+          converged, so a relative decrease under [tol] ends the stage. *)
+       let pg = ref 0.0 in
+       for i = 0 to n - 1 do
+         let step = x.(i) -. clamp1 lo.(i) hi.(i) (x.(i) -. g.(i)) in
+         if Float.abs step > !pg then pg := Float.abs step
+       done;
+       if !pg < opts.tol || !f_prev -. fx < opts.tol *. (1.0 +. Float.abs fx)
+       then begin
+         hit_tol := true;
+         raise Exit
+       end;
+       f_prev := fx;
+       (* Active faces: at a bound with the gradient pushing outward. *)
+       for i = 0 to n - 1 do
+         let eps = 1e-9 *. (1.0 +. (hi.(i) -. lo.(i))) in
+         free.(i) <-
+           not
+             ((x.(i) <= lo.(i) +. eps && g.(i) > 0.0)
+             || (x.(i) >= hi.(i) -. eps && g.(i) < 0.0))
+       done;
+       (* CG on the free subspace: H restricted by zeroing the
+          direction on active faces before the HVP and its result
+          after. *)
+       let rs = ref 0.0 in
+       for i = 0 to n - 1 do
+         d.(i) <- 0.0;
+         r.(i) <- (if free.(i) then -.g.(i) else 0.0);
+         p.(i) <- r.(i);
+         rs := !rs +. (r.(i) *. r.(i))
+       done;
+       let gnorm = sqrt !rs in
+       let cg_tol =
+         gnorm *. Float.min 0.5 (sqrt (gnorm /. (1.0 +. Float.abs fx)))
+       in
+       (let continue_cg = ref (gnorm > 0.0) in
+        let iter = ref 0 in
+        while !continue_cg && !iter < Int.min opts.cg_max_iters n do
+          incr iter;
+          incr cg_total;
+          ignore (hvp ~mu x p hp);
+          incr hvps;
+          let php = ref 0.0 in
+          for i = 0 to n - 1 do
+            if not free.(i) then hp.(i) <- 0.0;
+            php := !php +. (p.(i) *. hp.(i))
+          done;
+          if !php <= 0.0 then begin
+            (* Numerical curvature loss (the objective is convex):
+               fall back to steepest descent if no step was built. *)
+            if Array.for_all (fun di -> di = 0.0) d then
+              Array.blit r 0 d 0 n;
+            continue_cg := false
+          end
+          else begin
+            let alpha = !rs /. !php in
+            let rs' = ref 0.0 in
+            for i = 0 to n - 1 do
+              d.(i) <- d.(i) +. (alpha *. p.(i));
+              r.(i) <- r.(i) -. (alpha *. hp.(i));
+              rs' := !rs' +. (r.(i) *. r.(i))
+            done;
+            if sqrt !rs' <= cg_tol then continue_cg := false
+            else begin
+              let beta = !rs' /. !rs in
+              for i = 0 to n - 1 do
+                p.(i) <- r.(i) +. (beta *. p.(i))
+              done
+            end;
+            rs := !rs'
+          end
+        done);
+       (* Active components move by steepest descent; the projection
+          keeps them on (or returns them to) their faces. *)
+       for i = 0 to n - 1 do
+         if not free.(i) then d.(i) <- -.g.(i)
+       done;
+       (* Backtracking Armijo on the projected arc. *)
+       let rec search alpha tries =
+         if tries = 0 then None
+         else begin
+           let gd = ref 0.0 in
+           for i = 0 to n - 1 do
+             let ci = clamp1 lo.(i) hi.(i) (x.(i) +. (alpha *. d.(i))) in
+             cand.(i) <- ci;
+             gd := !gd +. (g.(i) *. (ci -. x.(i)))
+           done;
+           let fc = f ~mu cand in
+           if fc <= fx +. (opts.armijo_c *. !gd) && !gd < 0.0 then Some fc
+           else search (alpha *. opts.armijo_shrink) (tries - 1)
+         end
+       in
+       match search 1.0 40 with
+       | None ->
+           (* No descent along the Newton arc: the iterate is as good
+              as this stage can make it. *)
+           hit_tol := true;
+           raise Exit
+       | Some _ ->
+           let move = ref 0.0 in
+           for i = 0 to n - 1 do
+             let di = Float.abs (cand.(i) -. x.(i)) in
+             if di > !move then move := di;
+             x.(i) <- cand.(i)
+           done;
+           if !move < opts.tol then begin
+             hit_tol := true;
+             raise Exit
+           end
+     done
+   with Exit -> ());
+  (!outer, !cg_total, !hvps, !hit_tol)
+
 let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
     problem =
   validate problem;
@@ -175,7 +322,11 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
      already did) is the fast path; [Reference] keeps the memoised
      DAG-walking {!Expr} implementation callable for cross-checks. *)
   let g = Vec.create n 0.0 in
-  let f, fg =
+  (* Scratch gradient for HVP calls: [eval_hvp] recomputes the
+     gradient alongside the product; routing it to a separate buffer
+     keeps [g] (the CG residual source) untouched. *)
+  let g_hvp = Vec.create n 0.0 in
+  let f, fg, hvp =
     match engine with
     | Tape | Precompiled _ ->
         let c =
@@ -189,27 +340,51 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
           | _ -> compile ~obs objective
         in
         ( (fun ~mu x -> Tape.eval ~mu c.tape c.ws x),
-          fun ~mu x -> Tape.eval_grad ~mu c.tape c.ws ~x ~grad:g )
+          (fun ~mu x -> Tape.eval_grad ~mu c.tape c.ws ~x ~grad:g),
+          Some
+            (fun ~mu x dx out ->
+              Tape.eval_hvp ~mu c.tape c.ws ~x ~dx ~grad:g_hvp ~hvp:out) )
     | Reference ->
         ( (fun ~mu x -> Expr.eval ~mu objective x),
-          fun ~mu x ->
+          (fun ~mu x ->
             let v, g' = Expr.eval_grad ~mu objective x in
             Array.blit g' 0 g 0 n;
-            v )
+            v),
+          (* No second-order oracle on the DAG-walking path: [solve]
+             falls back to pure FISTA, which doubles as the reference
+             behaviour the property tests pin the Newton path to. *)
+          None )
   in
   Obs.span obs ~cat:"solver" "solver.solve"
     ~args:[ ("vars", Obs.Events.Int n) ]
   @@ fun () ->
   let y = Vec.create n 0.0 in
   let cand = Vec.create n 0.0 in
+  (* Newton-CG buffers (step, residual, CG direction, H·p, active-set
+     mask) — allocated once per solve, reused across stages. *)
+  let use_newton = options.second_order && hvp <> None in
+  let d = Vec.create n 0.0 in
+  let r = Vec.create n 0.0 in
+  let p = Vec.create n 0.0 in
+  let hp = Vec.create n 0.0 in
+  let free = Array.make n true in
   (* Scale smoothing temperatures by the magnitude of the objective so
      the anneal behaves the same for millisecond- and second-scale
      costs. *)
-  let f0 = Float.max (Float.abs (f ~mu:0.0 x)) 1e-30 in
+  let f_start = f ~mu:0.0 x in
+  (* Monotonicity guard for warm starts: remember the (projected)
+     caller-supplied point so the solve can never return anything
+     worse than it. *)
+  let start_copy =
+    match x0 with Some _ -> Some (Array.copy x, f_start) | None -> None
+  in
+  let f0 = Float.max (Float.abs f_start) 1e-30 in
   let mu_init = options.mu_init *. f0 in
   let mu_final = options.mu_final *. f0 in
   let total_iters = ref 0 in
   let stages_done = ref 0 in
+  let total_hvps = ref 0 in
+  let total_cg = ref 0 in
   let last_obj = ref Float.nan in
   (* Per-stage convergence telemetry: smoothing temperature, gradient
      iterations, Armijo backtracks and the exact objective reached.
@@ -233,15 +408,100 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
     end
   in
   let run_stage mu =
+    (* With the second-order engine available, smoothed stages run a
+       short FISTA burst to enter the Newton basin, then hand over to
+       Newton-CG; the exact (mu = 0) polish keeps the full first-order
+       budget — its piecewise objective is what FISTA's line search
+       handles robustly, and it starts from the Newton optimum. *)
+    let fista_opts =
+      if use_newton && mu > 0.0 then
+        { options with max_iters = Int.min options.fista_burst options.max_iters }
+      else options
+    in
     let iters, ok, backtracks =
-      stage ~opts:options ~mu ~f ~fg ~lo ~hi ~x ~y ~g ~cand
+      stage ~opts:fista_opts ~mu ~f ~fg ~lo ~hi ~x ~y ~g ~cand
     in
     total_iters := !total_iters + iters;
+    let ok =
+      if use_newton && mu > 0.0 && not ok then begin
+        let hvp_fn = Option.get hvp in
+        let outer, cg_iters, hvps, hit =
+          newton_stage ~opts:options ~mu ~f ~fg ~hvp:hvp_fn ~lo ~hi ~x ~g ~cand
+            ~d ~r ~p ~hp ~free
+        in
+        total_iters := !total_iters + outer;
+        total_hvps := !total_hvps + hvps;
+        total_cg := !total_cg + cg_iters;
+        if Obs.enabled obs then begin
+          Obs.counter obs "solver.hvp"
+            [
+              ("stage", float_of_int !stages_done);
+              ("hvps", float_of_int hvps);
+            ];
+          Obs.counter obs "solver.cg_iters"
+            [
+              ("stage", float_of_int !stages_done);
+              ("newton_iters", float_of_int outer);
+              ("cg_iters", float_of_int cg_iters);
+            ]
+        end;
+        hit
+      end
+      else ok
+    in
     incr stages_done;
     report ~mu ~iters ~backtracks;
     ok
   in
+  (* Warm starts: when the caller supplies [x0] and it is already
+     near-optimal at the tightest smoothing temperature, the anneal
+     from [mu_init] is redundant — skip straight to [mu_final].
+     Near-optimality is probed by one Armijo-backtracked projected
+     gradient step: near the optimum no step can decrease the smoothed
+     objective appreciably, while from a far start the probe finds a
+     substantial decrease.  (The raw projected-gradient length does not
+     separate the two at tight smoothing — the smoothed gradient at a
+     kink of the max is O(1) even at the exact optimum.)  Skipping is
+     safe for correctness — the problem is convex and the skipped-to
+     stage still solves to full tolerance — the anneal only exists to
+     guide a cold start. *)
   let mu = ref mu_init in
+  (match x0 with
+  | Some _ when mu_init > mu_final ->
+      let fx = fg ~mu:mu_final x in
+      let rec probe alpha tries =
+        if tries = 0 then 0.0
+        else begin
+          let gd = ref 0.0 in
+          for i = 0 to n - 1 do
+            let ci = clamp1 lo.(i) hi.(i) (x.(i) -. (alpha *. g.(i))) in
+            cand.(i) <- ci;
+            gd := !gd +. (g.(i) *. (ci -. x.(i)))
+          done;
+          let fc = f ~mu:mu_final cand in
+          if fc <= fx +. (options.armijo_c *. !gd) && !gd < 0.0 then fx -. fc
+          else probe (alpha *. options.armijo_shrink) (tries - 1)
+        end
+      in
+      (* Skip only when the probe cannot decrease the objective by more
+         than the stages' own relative stall tolerance — i.e. [x0]
+         already satisfies the stopping criterion the skipped stages
+         would be run to meet.  Empirically this separates re-solves of
+         the same problem (probe decrease ~1e-8..1e-7, skip) from
+         starts carried over from a perturbed problem (~1e-5..1e-4,
+         anneal), where the carried-over point sits on kinks of the max
+         and needs the anneal to recover full accuracy. *)
+      let decrease = probe options.step_init 30 in
+      let skip = decrease <= options.tol *. (1.0 +. Float.abs fx) in
+      if skip then mu := mu_final;
+      if Obs.enabled obs then
+        Obs.counter obs "solver.warm_start"
+          [
+            ("provided", 1.0);
+            ("skipped_to_mu_final", if skip then 1.0 else 0.0);
+            ("probe_decrease", decrease);
+          ]
+  | _ -> ());
   let continue = ref true in
   while !continue do
     ignore (run_stage !mu);
@@ -252,12 +512,22 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
      judged on this final stage (intermediate smoothed stages need not
      reach full tolerance to anneal onward). *)
   let ok = run_stage 0.0 in
+  let value = f ~mu:0.0 x in
+  let value =
+    match start_copy with
+    | Some (x_init, f_init) when f_init < value ->
+        Array.blit x_init 0 x 0 n;
+        f_init
+    | _ -> value
+  in
   {
     x;
-    value = f ~mu:0.0 x;
+    value;
     iterations = !total_iters;
     stages = !stages_done;
     converged = ok;
+    hvp_evals = !total_hvps;
+    cg_iterations = !total_cg;
   }
 
 let golden_section ?(tol = 1e-9) ~f ~lo ~hi () =

@@ -15,7 +15,23 @@
     O(|tape|) and allocates nothing — instead of the O(n·|DAG|)
     forward-mode sweep of {!Expr.eval_grad}.  The DAG-walking
     implementation remains available as the [Reference] engine for
-    cross-checking. *)
+    cross-checking.
+
+    On the tape engine each smoothed stage is finished by a projected
+    Newton-CG refinement ({!options.second_order}, on by default):
+    after a short FISTA burst, conjugate gradients over tape
+    Hessian-vector products ({!Tape.eval_hvp}) solve the Newton system
+    on the free (non-bound) variables, cutting the iteration count at
+    tight smoothing temperatures from hundreds to a handful.  The
+    [Reference] engine has no second-order oracle and keeps the pure
+    first-order behaviour.
+
+    Supplying a starting point [x0] warm-starts the solve; when an
+    Armijo-probed gradient step at the tightest smoothing temperature
+    can no longer decrease the objective appreciably — i.e. the point
+    is already near-optimal, as a previous optimum from a nearby
+    problem in a parameter sweep typically is — the anneal is skipped
+    entirely, which makes such re-solves several times cheaper. *)
 
 type problem = {
   objective : Expr.t;
@@ -34,6 +50,14 @@ type options = {
   step_init : float;      (** initial trial step for line search *)
   armijo_c : float;       (** sufficient-decrease constant *)
   armijo_shrink : float;  (** backtracking factor, in (0,1) *)
+  second_order : bool;    (** finish smoothed stages with projected
+                              Newton-CG over tape Hessian-vector
+                              products (tape engines only) *)
+  fista_burst : int;      (** FISTA iterations per smoothed stage before
+                              handing over to Newton-CG *)
+  newton_max_iters : int; (** outer Newton iterations per stage *)
+  cg_max_iters : int;     (** CG iterations per Newton system (also
+                              capped at the variable count) *)
 }
 
 val default_options : options
@@ -41,10 +65,13 @@ val default_options : options
 type result = {
   x : Numeric.Vec.t;      (** final iterate (inside the box) *)
   value : float;          (** exact (unsmoothed) objective at [x] *)
-  iterations : int;       (** total gradient iterations across stages *)
+  iterations : int;       (** total gradient iterations across stages
+                              (FISTA plus Newton outer iterations) *)
   stages : int;           (** smoothing stages performed *)
   converged : bool;       (** the final exact (unsmoothed) stage hit its
                               step tolerance *)
+  hvp_evals : int;        (** Hessian-vector products evaluated *)
+  cg_iterations : int;    (** total CG iterations across Newton solves *)
 }
 
 type compiled
@@ -78,16 +105,25 @@ val solve :
   problem ->
   result
 (** Solve the problem.  [x0] defaults to the box centre; it is projected
-    into the box first.  Raises [Invalid_argument] if the box is empty
-    or dimensions disagree, or if a [Precompiled] tape references
-    variables outside the box.
+    into the box first.  Supplying [x0] enables warm-starting: if the
+    point is already near-optimal at the tightest smoothing
+    temperature, all earlier annealing stages are skipped; and the
+    result is never worse than [x0] itself — if the staged solve ends
+    above the (projected) starting point, the starting point is
+    returned.  Raises
+    [Invalid_argument] if the box is empty or dimensions disagree, or
+    if a [Precompiled] tape references variables outside the box.
 
     With a live [obs] sink (default {!Obs.null}: no overhead) the
     solve is wrapped in a ["solver.solve"] span and every smoothing
     stage emits a ["solver.stage"] counter sampling the smoothing
     temperature [mu], gradient [iterations], Armijo [backtracks], the
     exact (unsmoothed) [objective] reached and its [decrease] from the
-    previous stage. *)
+    previous stage.  Stages refined by Newton-CG additionally emit
+    ["solver.hvp"] (Hessian-vector products) and ["solver.cg_iters"]
+    (outer Newton and inner CG iterations); a warm-started solve emits
+    one ["solver.warm_start"] counter recording the probed gradient-step
+    decrease at [x0] and whether the anneal was skipped. *)
 
 val golden_section :
   ?tol:float -> f:(float -> float) -> lo:float -> hi:float -> unit -> float

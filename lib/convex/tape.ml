@@ -35,6 +35,9 @@ type workspace = {
   adj : float array;  (* per-slot adjoints *)
   w : float array;  (* softmax weights, parallel to [child] *)
   s : float array;  (* scalar scratch (softmax normaliser) *)
+  vd : float array;  (* per-slot value tangents (HVP forward sweep) *)
+  adjd : float array;  (* per-slot adjoint tangents (HVP reverse sweep) *)
+  wd : float array;  (* softmax weight tangents, parallel to [child] *)
 }
 
 (* Compile-time instruction forms, collected in reverse order and
@@ -203,6 +206,9 @@ let create_workspace t =
     adj = Array.make (Int.max 1 (num_slots t)) 0.0;
     w = Array.make (Int.max 1 (num_children t)) 0.0;
     s = Array.make 1 0.0;
+    vd = Array.make (Int.max 1 (num_slots t)) 0.0;
+    adjd = Array.make (Int.max 1 (num_slots t)) 0.0;
+    wd = Array.make (Int.max 1 (num_children t)) 0.0;
   }
 
 let check_dim name t x =
@@ -262,6 +268,148 @@ let forward ~mu ~weights t ws x =
 let eval ?(mu = 0.0) t ws x =
   check_dim "eval" t x;
   forward ~mu ~weights:false t ws x
+
+(* Forward sweep carrying first-order tangents along direction [dx]:
+   after the sweep, [ws.vd.(k)] is the directional derivative of slot
+   [k] along [dx], and for smoothed maxima [ws.wd.(j)] holds the
+   tangent of the softmax weight [ws.w.(j)].  At [mu <= 0] the max is
+   piecewise linear: the tangent follows the first maximising branch
+   (construction order), the same branch the subgradient picks, so the
+   Gauss–Newton-style reverse sweep below yields the Hessian of the
+   active piece.  Allocation-free, like {!forward}. *)
+let forward_tangent ~mu t ws x dx =
+  let v = ws.v and w = ws.w and s = ws.s and vd = ws.vd and wd = ws.wd in
+  let n = Array.length t.op in
+  for k = 0 to n - 1 do
+    let o = t.op.(k) in
+    if o = op_term then begin
+      v.(k) <- 0.0;
+      vd.(k) <- 0.0;
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        v.(k) <- v.(k) +. (t.term_expt.(j) *. x.(t.term_var.(j)));
+        vd.(k) <- vd.(k) +. (t.term_expt.(j) *. dx.(t.term_var.(j)))
+      done;
+      v.(k) <- t.c.(k) *. exp v.(k);
+      (* d(c·e^s) = c·e^s·ds *)
+      vd.(k) <- v.(k) *. vd.(k)
+    end
+    else if o = op_sum then begin
+      v.(k) <- t.c.(k);
+      vd.(k) <- 0.0;
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        v.(k) <- v.(k) +. v.(t.child.(j));
+        vd.(k) <- vd.(k) +. vd.(t.child.(j))
+      done
+    end
+    else if o = op_max then begin
+      v.(k) <- neg_infinity;
+      (* s.(0) temporarily holds the index of the first maximising
+         branch; the strict [>] keeps the earliest of any tie, matching
+         the subgradient tie-break. *)
+      s.(0) <- -1.0;
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        if v.(t.child.(j)) > v.(k) then begin
+          v.(k) <- v.(t.child.(j));
+          s.(0) <- float_of_int j
+        end
+      done;
+      vd.(k) <-
+        (if s.(0) >= 0.0 then vd.(t.child.(int_of_float s.(0))) else 0.0);
+      if mu > 0.0 && Float.is_finite v.(k) then begin
+        let m = v.(k) in
+        s.(0) <- 0.0;
+        for j = t.lo.(k) to t.hi.(k) - 1 do
+          let e = exp ((v.(t.child.(j)) -. m) /. mu) in
+          w.(j) <- e;
+          s.(0) <- s.(0) +. e
+        done;
+        vd.(k) <- 0.0;
+        for j = t.lo.(k) to t.hi.(k) - 1 do
+          w.(j) <- w.(j) /. s.(0);
+          vd.(k) <- vd.(k) +. (w.(j) *. vd.(t.child.(j)))
+        done;
+        (* dw_j = w_j (dv_j - dv_k)/mu, with dv_k = sum_l w_l dv_l. *)
+        for j = t.lo.(k) to t.hi.(k) - 1 do
+          wd.(j) <- w.(j) *. (vd.(t.child.(j)) -. vd.(k)) /. mu
+        done;
+        v.(k) <- m +. (mu *. log s.(0))
+      end
+    end
+    else if o = op_scale then begin
+      v.(k) <- t.c.(k) *. v.(t.lo.(k));
+      vd.(k) <- t.c.(k) *. vd.(t.lo.(k))
+    end
+    else begin
+      (* op_const *)
+      v.(k) <- t.c.(k);
+      vd.(k) <- 0.0
+    end
+  done;
+  v.(t.root)
+
+let eval_hvp ?(mu = 0.0) t ws ~x ~dx ~grad ~hvp =
+  check_dim "eval_hvp" t x;
+  if Vec.dim dx <> Vec.dim x then
+    invalid_arg "Tape.eval_hvp: dx/x dimension mismatch";
+  if Vec.dim grad <> Vec.dim x || Vec.dim hvp <> Vec.dim x then
+    invalid_arg "Tape.eval_hvp: grad/hvp/x dimension mismatch";
+  let value = forward_tangent ~mu t ws x dx in
+  let v = ws.v and adj = ws.adj and w = ws.w in
+  let vd = ws.vd and adjd = ws.adjd and wd = ws.wd in
+  let n = Array.length t.op in
+  Array.fill adj 0 n 0.0;
+  Array.fill adjd 0 n 0.0;
+  Array.fill grad 0 (Vec.dim grad) 0.0;
+  Array.fill hvp 0 (Vec.dim hvp) 0.0;
+  adj.(t.root) <- 1.0;
+  for k = n - 1 downto 0 do
+    let a = adj.(k) in
+    let ad = adjd.(k) in
+    if a <> 0.0 || ad <> 0.0 then begin
+      let o = t.op.(k) in
+      if o = op_term then
+        for j = t.lo.(k) to t.hi.(k) - 1 do
+          let i = t.term_var.(j) in
+          let e = t.term_expt.(j) in
+          grad.(i) <- grad.(i) +. (a *. e *. v.(k));
+          (* d(a·e·v) = e·(da·v + a·dv) *)
+          hvp.(i) <- hvp.(i) +. (e *. ((ad *. v.(k)) +. (a *. vd.(k))))
+        done
+      else if o = op_sum then
+        for j = t.lo.(k) to t.hi.(k) - 1 do
+          adj.(t.child.(j)) <- adj.(t.child.(j)) +. a;
+          adjd.(t.child.(j)) <- adjd.(t.child.(j)) +. ad
+        done
+      else if o = op_max then
+        if mu > 0.0 && Float.is_finite v.(k) then
+          for j = t.lo.(k) to t.hi.(k) - 1 do
+            adj.(t.child.(j)) <- adj.(t.child.(j)) +. (a *. w.(j));
+            (* d(a·w_j) = da·w_j + a·dw_j — the a·dw_j term is where the
+               curvature of the smoothed max enters the Hessian. *)
+            adjd.(t.child.(j)) <-
+              adjd.(t.child.(j)) +. (ad *. w.(j)) +. (a *. wd.(j))
+          done
+        else begin
+          (* Same first-maximising-branch scan as eval_grad; the branch
+             indicator is locally constant, so its tangent is zero. *)
+          ws.s.(0) <- -1.0;
+          for j = t.hi.(k) - 1 downto t.lo.(k) do
+            if v.(t.child.(j)) >= v.(k) then ws.s.(0) <- float_of_int j
+          done;
+          if ws.s.(0) >= 0.0 then begin
+            let j = int_of_float ws.s.(0) in
+            adj.(t.child.(j)) <- adj.(t.child.(j)) +. a;
+            adjd.(t.child.(j)) <- adjd.(t.child.(j)) +. ad
+          end
+        end
+      else if o = op_scale then begin
+        adj.(t.lo.(k)) <- adj.(t.lo.(k)) +. (a *. t.c.(k));
+        adjd.(t.lo.(k)) <- adjd.(t.lo.(k)) +. (ad *. t.c.(k))
+      end
+      (* op_const: adjoint discarded *)
+    end
+  done;
+  value
 
 let eval_grad ?(mu = 0.0) t ws ~x ~grad =
   check_dim "eval_grad" t x;

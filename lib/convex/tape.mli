@@ -59,3 +59,27 @@ val eval_grad :
 (** Forward + reverse sweep.  Overwrites [grad] (which must have the
     same dimension as [x]) with the (sub)gradient and returns the
     value; equals {!Expr.eval_grad}[ ~mu root x]. *)
+
+val eval_hvp :
+  ?mu:float ->
+  t ->
+  workspace ->
+  x:Numeric.Vec.t ->
+  dx:Numeric.Vec.t ->
+  grad:Numeric.Vec.t ->
+  hvp:Numeric.Vec.t ->
+  float
+(** Hessian-vector product by forward-over-reverse: one forward sweep
+    carrying first-order tangents along the direction [dx], then one
+    reverse sweep propagating both adjoints and adjoint tangents.
+    Overwrites [grad] with the gradient (identical to {!eval_grad})
+    and [hvp] with [H(x)·dx], and returns the value — all in
+    O(|tape|), allocation-free on a warm workspace (roughly twice the
+    cost of {!eval_grad}).
+
+    With [mu > 0] the smoothed objective is C² and [hvp] is its exact
+    Hessian-vector product.  With [mu <= 0] the objective is piecewise
+    smooth; [hvp] is the Hessian of the currently active piece (each
+    max differentiates through its first maximising branch, matching
+    the subgradient tie-break), which is the generalised Hessian used
+    by the solver's final polishing stage. *)

@@ -92,7 +92,7 @@ let critical_path_expr params g ~procs =
 let objective params g ~procs =
   E.max_ [ average_expr params g ~procs; critical_path_expr params g ~procs ]
 
-let solve ?options ?(engine = `Tape) ?obs params g ~procs =
+let solve ?options ?(engine = `Tape) ?obs ?x0 params g ~procs =
   check params g ~procs;
   let n = G.num_nodes g in
   let avg = average_expr params g ~procs in
@@ -112,7 +112,7 @@ let solve ?options ?(engine = `Tape) ?obs params g ~procs =
     | `Reference -> (Convex.Solver.Reference, fun x -> E.eval obj x)
   in
   let solver =
-    Convex.Solver.solve ?options ~engine:solver_engine ?obs
+    Convex.Solver.solve ?options ~engine:solver_engine ?obs ?x0
       { objective = obj; lo; hi }
   in
   let alloc = Array.map exp solver.x in

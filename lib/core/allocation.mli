@@ -40,6 +40,7 @@ val solve :
   ?options:Convex.Solver.options ->
   ?engine:[ `Tape | `Reference ] ->
   ?obs:Obs.t ->
+  ?x0:Numeric.Vec.t ->
   Costmodel.Params.t ->
   Mdg.Graph.t ->
   procs:int ->
@@ -49,6 +50,12 @@ val solve :
     parameter set lacks processing entries for a kernel in the
     graph.  [obs] (default {!Obs.null}) receives the underlying
     solver's convergence telemetry — see {!Convex.Solver.solve}.
+
+    [x0] warm-starts the solver in log-space ([x0.(i) = ln p_i],
+    typically [Array.map log previous.alloc]): across parameter or
+    machine-size sweeps the previous optimum is usually
+    near-stationary for the next problem, letting the solver skip its
+    annealing stages — see {!Convex.Solver.solve}.
 
     [engine] (default [`Tape]) selects the objective evaluator: the
     objective is compiled once to a flat tape ({!Convex.Tape}) that

@@ -28,7 +28,7 @@ type plan = {
   config : config;
 }
 
-let plan ?(config = default_config) params g ~procs =
+let plan ?(config = default_config) ?x0 params g ~procs =
   let obs = config.obs in
   Obs.span obs ~cat:"pipeline" "pipeline.plan"
     ~args:[ ("procs", Obs.Events.Int procs) ]
@@ -38,7 +38,8 @@ let plan ?(config = default_config) params g ~procs =
     Obs.span obs ~cat:"pipeline" "pipeline.allocate"
       ~args:[ ("nodes", Obs.Events.Int (G.num_nodes g)) ]
       (fun () ->
-        Allocation.solve ~options:config.solver_options ~obs params g ~procs)
+        Allocation.solve ~options:config.solver_options ~obs ?x0 params g
+          ~procs)
   in
   let psa =
     Obs.span obs ~cat:"pipeline" "pipeline.schedule" (fun () ->

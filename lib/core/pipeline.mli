@@ -55,9 +55,18 @@ type plan = {
 }
 
 val plan :
-  ?config:config -> Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> plan
+  ?config:config ->
+  ?x0:Numeric.Vec.t ->
+  Costmodel.Params.t ->
+  Mdg.Graph.t ->
+  procs:int ->
+  plan
 (** Normalises the graph if necessary, solves the allocation problem
-    and runs the PSA. *)
+    and runs the PSA.  [x0] warm-starts the allocation solve in
+    log-space, indexed by the normalised graph's nodes — typically
+    [Array.map log previous.allocation.alloc] from an earlier plan of
+    the same graph under nearby parameters or machine size (see
+    {!Allocation.solve}). *)
 
 val phi : plan -> float
 (** Φ: the convex program's optimal finish time. *)

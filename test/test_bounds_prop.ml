@@ -1,0 +1,55 @@
+(* Paper Section 5 guarantees exercised across machine sizes: on random
+   MDGs and p in {4, 16, 64}, the PSA's finish time stays within the
+   Theorem 3 factor of the convex optimum, and the Corollary 1
+   processor bound is a power of two in [1, p] that establishes
+   Theorem 1's premise (no node allocated more than PB processors). *)
+
+module G = Mdg.Graph
+module P = Costmodel.Params
+
+let synth_params () = P.make ~transfer:P.cm5_transfer
+
+let mdg_of_seed seed =
+  let shape = { Kernels.Workloads.default_shape with layers = 4; width = 4 } in
+  G.normalise (Kernels.Workloads.random_layered ~seed shape)
+
+let machine_sizes = [ 4; 16; 64 ]
+
+let prop_theorem3_all_p =
+  QCheck.Test.make ~name:"T_psa <= theorem3_factor * Phi for p in {4,16,64}"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = mdg_of_seed seed in
+      let p = synth_params () in
+      List.for_all
+        (fun procs ->
+          let r = Core.Allocation.solve p g ~procs in
+          let psa = Core.Psa.schedule p g ~procs ~alloc:r.alloc in
+          Core.Bounds.check_theorem3 ~t_psa:psa.t_psa ~phi:r.phi ~procs
+            ~pb:psa.pb)
+        machine_sizes)
+
+let prop_corollary1_premise =
+  QCheck.Test.make
+    ~name:"Corollary-1 PB is a power of two establishing Theorem 1's premise"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = mdg_of_seed seed in
+      let p = synth_params () in
+      List.for_all
+        (fun procs ->
+          let pb = Core.Bounds.optimal_pb ~procs in
+          let r = Core.Allocation.solve p g ~procs in
+          let psa = Core.Psa.schedule p g ~procs ~alloc:r.alloc in
+          pb >= 1
+          && pb <= procs
+          && pb land (pb - 1) = 0
+          && psa.pb = pb
+          && Array.for_all (fun a -> a >= 1 && a <= pb) psa.rounded_alloc)
+        machine_sizes)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_theorem3_all_p; prop_corollary1_premise ]

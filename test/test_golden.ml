@@ -1,0 +1,84 @@
+(* Golden regression pins for the end-to-end allocation solve: Phi and
+   the solver's stage/iteration counts for the two paper programs
+   (complex matrix multiply, recursive Strassen at levels 1-2) on the
+   simulated CM-5 at 64 processors, against test/golden/solver.golden.
+
+   The golden file carries its own tolerances per row; see its header
+   for the format and how to regenerate after an intentional solver
+   change. *)
+
+module G = Mdg.Graph
+module GT = Machine.Ground_truth
+
+let calib_procs = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let cases () =
+  let gt = GT.cm5_like () in
+  let complex =
+    let g, _ = Kernels.Complex_mm.graph ~n:64 () in
+    let p, _, _ =
+      Machine.Measure.calibrate gt ~procs:calib_procs
+        (Kernels.Complex_mm.kernels ~n:64)
+    in
+    ("complex-mm-64", g, p)
+  in
+  let strassen levels =
+    let n = 128 in
+    let g = Kernels.Strassen_mdg.graph_recursive ~levels ~n in
+    let p, _, _ =
+      Machine.Measure.calibrate gt ~procs:calib_procs
+        (Kernels.Strassen_mdg.kernels_recursive ~levels ~n)
+    in
+    (Printf.sprintf "strassen-l%d" levels, g, p)
+  in
+  [ complex; strassen 1; strassen 2 ]
+
+type golden = {
+  phi : float;
+  phi_rel_tol : float;
+  stages : int;
+  iterations : int;
+  iter_tol : int;
+}
+
+let load_golden path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let line = String.trim line in
+       if line <> "" && line.[0] <> '#' then
+         Scanf.sscanf line "%s %f %f %d %d %d"
+           (fun name phi phi_rel_tol stages iterations iter_tol ->
+             rows := (name, { phi; phi_rel_tol; stages; iterations; iter_tol }) :: !rows)
+     done
+   with End_of_file -> close_in ic);
+  !rows
+
+let test_golden () =
+  (* dune runs tests from _build/default/test; golden/ is declared as a
+     dependency of the test stanza. *)
+  let golden = load_golden "golden/solver.golden" in
+  List.iter
+    (fun (name, g, p) ->
+      let exp =
+        try List.assoc name golden
+        with Not_found -> Alcotest.failf "no golden row for %s" name
+      in
+      let r = Core.Allocation.solve p (G.normalise g) ~procs:64 in
+      if
+        Float.abs (r.phi -. exp.phi) > exp.phi_rel_tol *. Float.abs exp.phi
+      then
+        Alcotest.failf "%s: Phi %.9f drifted from golden %.9f (rel tol %g)"
+          name r.phi exp.phi exp.phi_rel_tol;
+      if r.solver.stages <> exp.stages then
+        Alcotest.failf "%s: %d solver stages, golden %d" name r.solver.stages
+          exp.stages;
+      if abs (r.solver.iterations - exp.iterations) > exp.iter_tol then
+        Alcotest.failf "%s: %d iterations, golden %d (tol %d)" name
+          r.solver.iterations exp.iterations exp.iter_tol)
+    (cases ())
+
+let suite =
+  [ Alcotest.test_case "Phi and stage counts match golden" `Slow test_golden ]

@@ -6,6 +6,10 @@ let () =
       ("numeric", Test_numeric.suite);
       ("convex", Test_convex.suite);
       ("tape", Test_tape.suite);
+      ("hvp", Test_hvp.suite);
+      ("solver-prop", Test_solver_prop.suite);
+      ("bounds-prop", Test_bounds_prop.suite);
+      ("golden", Test_golden.suite);
       ("mdg", Test_mdg.suite);
       ("costmodel", Test_costmodel.suite);
       ("machine", Test_machine.suite);

@@ -1,0 +1,95 @@
+(* Optimality properties of the allocation solver on random feasible
+   MDGs: the returned point is projected-gradient stationary for the
+   tightest smoothed objective, warm-started re-solves reproduce the
+   cold optimum, and the second-order (tape Newton-CG) engine agrees
+   with the pure first-order Reference engine. *)
+
+module G = Mdg.Graph
+module P = Costmodel.Params
+
+let synth_params () = P.make ~transfer:P.cm5_transfer
+
+let mdg_of_seed ?(layers = 4) ?(width = 4) seed =
+  let shape = { Kernels.Workloads.default_shape with layers; width } in
+  G.normalise (Kernels.Workloads.random_layered ~seed shape)
+
+let procs = 16
+
+(* The solver's own tightest smoothing temperature: mu_final scaled by
+   the objective magnitude at the default (box centre) start. *)
+let mu_final obj n =
+  let centre = Array.make n (0.5 *. log (float_of_int procs)) in
+  1e-6 *. Float.max (Float.abs (Convex.Expr.eval obj centre)) 1e-30
+
+(* KKT stationarity, stated as achievable descent: from the returned
+   optimum, no Armijo-backtracked projected-gradient step decreases
+   the mu_final-smoothed objective by more than a small multiple of
+   the solver tolerance.  (The raw projected-gradient norm is the
+   wrong measure here: at a kink of the max the smoothed gradient is
+   O(1) even at the exact minimiser, but no feasible step along it
+   descends.) *)
+let prop_stationary =
+  QCheck.Test.make ~name:"solve is projected-gradient stationary at mu_final"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = mdg_of_seed seed in
+      let p = synth_params () in
+      let r = Core.Allocation.solve p g ~procs in
+      let n = G.num_nodes g in
+      let obj = Core.Allocation.objective p g ~procs in
+      let mu = mu_final obj n in
+      let x = Array.map log r.alloc in
+      let hi = log (float_of_int procs) in
+      let fx, gr = Convex.Expr.eval_grad ~mu obj x in
+      let rec probe alpha tries =
+        if tries = 0 then 0.0
+        else begin
+          let c =
+            Array.mapi
+              (fun i xi -> Float.min hi (Float.max 0.0 (xi -. (alpha *. gr.(i)))))
+              x
+          in
+          let fc = Convex.Expr.eval ~mu obj c in
+          if fc < fx then fx -. fc else probe (alpha /. 2.0) (tries - 1)
+        end
+      in
+      probe 1.0 30 <= 1e-5 *. (1.0 +. Float.abs fx))
+
+(* Warm-starting from the cold optimum skips the anneal and lands on
+   the same optimum: never worse than 1e-6 (structural: the solver
+   returns x0 if it cannot improve on it), and no further below than
+   the first-order solve's own accuracy band — on rare seeds the cold
+   anneal stops several 1e-3 above the true optimum and the warm
+   re-solve recovers most of that. *)
+let prop_warm_matches_cold =
+  QCheck.Test.make ~name:"warm-started solve reaches the cold optimum" ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = mdg_of_seed seed in
+      let p = synth_params () in
+      let cold = Core.Allocation.solve p g ~procs in
+      let warm =
+        Core.Allocation.solve ~x0:(Array.map log cold.alloc) p g ~procs
+      in
+      let band = 1.0 +. Float.abs cold.phi in
+      warm.phi <= cold.phi +. (1e-6 *. band)
+      && Float.abs (warm.phi -. cold.phi) <= 1e-2 *. band)
+
+(* The tape engine (with its Newton-CG refinement) and the DAG-walking
+   Reference engine (pure FISTA) minimise the same convex program to
+   the same optimum, up to the first-order engine's accuracy. *)
+let prop_engines_agree =
+  QCheck.Test.make ~name:"second-order tape engine agrees with Reference"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = mdg_of_seed ~layers:3 ~width:3 seed in
+      let p = synth_params () in
+      let tape = Core.Allocation.solve p g ~procs in
+      let refr = Core.Allocation.solve ~engine:`Reference p g ~procs in
+      Float.abs (tape.phi -. refr.phi) <= 1e-2 *. (1.0 +. Float.abs refr.phi))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_stationary; prop_warm_matches_cold; prop_engines_agree ]
