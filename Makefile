@@ -1,7 +1,7 @@
 # Development entry points.  `make verify` is the tier-1 gate: build,
 # test, and (when ocamlformat is installed) formatting drift.
 
-.PHONY: all build test fmt fmt-apply verify bench-quick clean
+.PHONY: all build test fmt fmt-apply verify bench-quick bench-serve-quick clean
 
 all: build
 
@@ -34,6 +34,12 @@ verify: build test fmt
 bench-quick: build
 	dune exec bench/main.exe -- micro
 	dune exec bench/main.exe -- scale-quick
+
+# Serving smoke: start the plan server, drive it with concurrent
+# clients for 2 s, and fail on any dropped request or a cold tape
+# cache (see bench/serve_bench.ml).
+bench-serve-quick: build
+	dune exec bench/main.exe -- serve-quick
 
 clean:
 	dune clean

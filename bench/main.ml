@@ -21,7 +21,7 @@ let micro_tests () =
   let st_graph = Mdg.Graph.normalise (fst (Kernels.Strassen_mdg.graph ~n:128 ())) in
   let cm_alloc = (Core.Allocation.solve params cm_graph ~procs:64).alloc in
   let st_alloc = (Core.Allocation.solve params st_graph ~procs:64).alloc in
-  let cm_plan = Core.Pipeline.plan params cm_graph ~procs:64 in
+  let cm_plan = Core.Pipeline.plan_exn params cm_graph ~procs:64 in
   let cm_prog = Core.Codegen.mpmd gt cm_graph (Core.Pipeline.schedule cm_plan) in
   let mat_a = Kernels.Dense.random_matrix ~seed:1 64 in
   let mat_b = Kernels.Dense.random_matrix ~seed:2 64 in
@@ -87,9 +87,11 @@ let () =
       Experiments.all ();
       run_micro ()
   | [| _; "micro" |] -> run_micro ()
+  | [| _; "serve" |] -> Serve_bench.serve ()
+  | [| _; "serve-quick" |] -> Serve_bench.serve_quick ()
   | [| _; name |] -> (Experiments.by_name name) ()
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [fig1|tab1|fig3|tab2|fig5|fig6|fig7|fig8|fig9|tab3|ablate|sweep|static|heuristics|topology|scale|scale-quick|expand|micro]";
+         [fig1|tab1|fig3|tab2|fig5|fig6|fig7|fig8|fig9|tab3|ablate|sweep|static|heuristics|topology|scale|scale-quick|expand|serve|serve-quick|micro]";
       exit 2

@@ -1,0 +1,206 @@
+(* Load generator for the plan server (`bench/main.exe -- serve`).
+
+   Serving scenario from the README: many clients repeatedly request
+   plans for the same MDG shape — the two-level Strassen graph — under
+   a small set of cost-parameter variants (re-calibrations of the same
+   machine).  The steady state exercises both caches: every request
+   after warm-up should hit the compiled-tape cache, and an exact
+   fingerprint repeat should be answered from the warm-start cache's
+   stored result without re-entering the solver.
+
+   Reports req/s, p50/p99 latency and client-observed cache rates;
+   `serve` writes BENCH_serve.json, `serve-quick` is the CI smoke
+   variant and exits non-zero if any request fails or the tape cache
+   never hits. *)
+
+module Daemon = Server.Daemon
+module Client = Server.Client
+
+type sample = {
+  latency : float;  (* seconds *)
+  tape_hit : bool;
+  warm_hit : bool;  (* exact or shape *)
+  skipped : bool;
+}
+
+type outcome = { samples : sample list; failed : int }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+(* The request mix: one graph shape, [variants] parameter sets that
+   differ in the network constant (as successive re-calibrations
+   would), hence [variants] distinct cache fingerprints. *)
+let make_variants ~variants params =
+  let tf = Costmodel.Params.transfer params in
+  List.init variants (fun i ->
+      let scale = 1.0 +. (0.02 *. float_of_int i) in
+      let p = Costmodel.Params.make ~transfer:{ tf with t_n = tf.t_n *. scale } in
+      List.iter
+        (fun kernel ->
+          Costmodel.Params.set_processing p kernel
+            (Costmodel.Params.processing params kernel))
+        (Costmodel.Params.known_kernels params);
+      p)
+
+let client_loop ~port ~graph ~procs ~deadline ~param_cycle k =
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let n_variants = Array.length param_cycle in
+  let samples = ref [] in
+  let failed = ref 0 in
+  let i = ref k in
+  while Unix.gettimeofday () < deadline do
+    let params = param_cycle.(!i mod n_variants) in
+    incr i;
+    let t0 = Unix.gettimeofday () in
+    (match Client.plan ~params c graph ~procs with
+    | Ok s ->
+        samples :=
+          {
+            latency = Unix.gettimeofday () -. t0;
+            tape_hit = s.tape_cache = "hit";
+            warm_hit = s.warm_cache = "hit" || s.warm_cache = "shape_hit";
+            skipped = s.solve_skipped;
+          }
+          :: !samples
+    | Error _ -> incr failed)
+  done;
+  { samples = !samples; failed = !failed }
+
+type report = {
+  duration : float;
+  clients : int;
+  requests : int;
+  failed : int;
+  req_per_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  tape_hit_rate : float;
+  warm_hit_rate : float;
+  solve_skipped_rate : float;
+  stats : Core.Plan_cache.stats;
+}
+
+let run ~duration ~clients ~variants () =
+  let gt = Machine.Ground_truth.cm5_like () in
+  let levels = 2 and n = 128 in
+  let graph = Kernels.Strassen_mdg.graph_recursive ~levels ~n in
+  let params, _, _ =
+    Machine.Measure.calibrate gt
+      ~procs:[ 1; 2; 4; 8; 16; 32; 64 ]
+      (Kernels.Strassen_mdg.kernels_recursive ~levels ~n)
+  in
+  let param_cycle = Array.of_list (make_variants ~variants params) in
+  let srv = Daemon.start () in
+  Fun.protect ~finally:(fun () -> Daemon.stop srv) @@ fun () ->
+  let port = Daemon.port srv in
+  (* Warm-up: solve each variant once so the timed window measures the
+     serving steady state, not first-compile cost. *)
+  let w = Client.connect ~port () in
+  Array.iter
+    (fun params ->
+      match Client.plan ~params w graph ~procs:64 with
+      | Ok _ -> ()
+      | Error msg -> failwith ("serve bench warm-up failed: " ^ msg))
+    param_cycle;
+  Client.close w;
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. duration in
+  let outcomes =
+    List.init clients (fun k ->
+        Domain.spawn (fun () ->
+            client_loop ~port ~graph ~procs:64 ~deadline ~param_cycle k))
+    |> List.map Domain.join
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let samples = List.concat_map (fun (o : outcome) -> o.samples) outcomes in
+  let failed =
+    List.fold_left (fun acc (o : outcome) -> acc + o.failed) 0 outcomes
+  in
+  let requests = List.length samples in
+  let latencies =
+    Array.of_list (List.map (fun s -> s.latency) samples)
+  in
+  Array.sort compare latencies;
+  let rate pred =
+    if requests = 0 then 0.0
+    else
+      float_of_int (List.length (List.filter pred samples))
+      /. float_of_int requests
+  in
+  {
+    duration = elapsed;
+    clients;
+    requests;
+    failed;
+    req_per_s = float_of_int requests /. elapsed;
+    p50_ms = 1e3 *. percentile latencies 50.0;
+    p99_ms = 1e3 *. percentile latencies 99.0;
+    tape_hit_rate = rate (fun s -> s.tape_hit);
+    warm_hit_rate = rate (fun s -> s.warm_hit);
+    solve_skipped_rate = rate (fun s -> s.skipped);
+    stats = Daemon.stats srv;
+  }
+
+let print_report r =
+  Printf.printf
+    "%d clients, %.1f s: %d requests (%d failed), %.1f req/s\n\
+     latency p50 %.2f ms, p99 %.2f ms\n\
+     cache: tape hits %.1f%%, warm hits %.1f%%, solve skipped %.1f%%\n\
+     server totals: tape %d/%d hits, warm %d exact + %d shape / %d misses\n%!"
+    r.clients r.duration r.requests r.failed r.req_per_s r.p50_ms r.p99_ms
+    (100.0 *. r.tape_hit_rate) (100.0 *. r.warm_hit_rate)
+    (100.0 *. r.solve_skipped_rate) r.stats.tape_hits
+    (r.stats.tape_hits + r.stats.tape_misses)
+    r.stats.warm_hits r.stats.warm_shape_hits r.stats.warm_misses
+
+let write_json path r =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"serve\",\n\
+    \  \"graph\": \"strassen2:128\",\n\
+    \  \"procs\": 64,\n\
+    \  \"clients\": %d,\n\
+    \  \"duration_seconds\": %.3f,\n\
+    \  \"requests\": %d,\n\
+    \  \"failed\": %d,\n\
+    \  \"req_per_s\": %.2f,\n\
+    \  \"p50_ms\": %.3f,\n\
+    \  \"p99_ms\": %.3f,\n\
+    \  \"tape_hit_rate\": %.4f,\n\
+    \  \"warm_hit_rate\": %.4f,\n\
+    \  \"solve_skipped_rate\": %.4f\n\
+     }\n"
+    r.clients r.duration r.requests r.failed r.req_per_s r.p50_ms r.p99_ms
+    r.tape_hit_rate r.warm_hit_rate r.solve_skipped_rate;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let header () =
+  print_newline ();
+  print_endline (String.make 72 '-');
+  print_endline
+    "Plan server under load: strassen2:128 near-duplicate request mix";
+  print_endline (String.make 72 '-')
+
+let serve () =
+  header ();
+  let r = run ~duration:10.0 ~clients:4 ~variants:3 () in
+  print_report r;
+  write_json "BENCH_serve.json" r
+
+(* CI smoke variant: short, and a hard failure if the server dropped a
+   request or the tape cache never warmed up. *)
+let serve_quick () =
+  header ();
+  let r = run ~duration:2.0 ~clients:2 ~variants:2 () in
+  print_report r;
+  if r.failed > 0 then failwith "serve-quick: failed requests";
+  if r.requests = 0 then failwith "serve-quick: no requests completed";
+  if r.tape_hit_rate <= 0.0 then failwith "serve-quick: tape cache never hit"

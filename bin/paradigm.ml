@@ -82,6 +82,13 @@ let calibrated_params gt (spec : Frontend.Loader.t) =
 let check_procs procs =
   if procs < 1 then fail_msg "processor count must be >= 1"
 
+(* All pipeline failures are typed ({!Core.Pipeline.error}); the CLI
+   boundary renders them and exits 1. *)
+let run_plan ~config params graph ~procs =
+  match Core.Pipeline.plan ~config (Core.Pipeline.request params graph ~procs) with
+  | Ok plan -> plan
+  | Error e -> fail_msg "%s" (Core.Pipeline.error_to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry plumbing: --trace FILE / --metrics                        *)
 (* ------------------------------------------------------------------ *)
@@ -241,7 +248,7 @@ let schedule_cmd =
       Core.Pipeline.(
         default_config |> with_psa_options psa_options |> with_obs tel.obs)
     in
-    let plan = Core.Pipeline.plan ~config params p.graph ~procs in
+    let plan = run_plan ~config params p.graph ~procs in
     Printf.printf "program : %s on %d processors\n" p.name procs;
     Printf.printf "Phi     : %.6f s\n" (Core.Pipeline.phi plan);
     Printf.printf "T_psa   : %.6f s  (PB = %d)\n\n"
@@ -291,7 +298,7 @@ let simulate_cmd =
     let params = calibrated_params gt p in
     let tel = telemetry ~trace ~metrics in
     let config = Core.Pipeline.(default_config |> with_obs tel.obs) in
-    let plan = Core.Pipeline.plan ~config params p.graph ~procs in
+    let plan = run_plan ~config params p.graph ~procs in
     let mpmd = Core.Pipeline.simulate gt plan in
     let spmd = Core.Pipeline.simulate_spmd ~obs:tel.obs gt p.graph ~procs in
     let serial = Core.Pipeline.serial_time gt p.graph in
@@ -340,7 +347,7 @@ let compile_cmd =
     let params = calibrated_params gt p in
     let tel = telemetry ~trace ~metrics in
     let config = Core.Pipeline.(default_config |> with_obs tel.obs) in
-    let plan = Core.Pipeline.plan ~config params p.graph ~procs in
+    let plan = run_plan ~config params p.graph ~procs in
     let prog = Core.Codegen.mpmd gt plan.graph (Core.Pipeline.schedule plan) in
     Printf.printf "# %s compiled for %d processors\n" p.name procs;
     Printf.printf "# Phi = %.6f s, T_psa = %.6f s\n\n" (Core.Pipeline.phi plan)
@@ -356,6 +363,83 @@ let compile_cmd =
       $ metrics_arg $ optimise_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let port =
+    let doc = "TCP port to listen on (0 picks an ephemeral port)." in
+    Arg.(value & opt int 7464 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let addr =
+    let doc = "Address to bind." in
+    Arg.(value & opt string "127.0.0.1" & info [ "addr" ] ~docv:"ADDR" ~doc)
+  in
+  let workers =
+    let doc = "Worker-domain pool size." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let run port addr workers machine trace metrics =
+    if workers < 1 then fail_msg "worker count must be >= 1";
+    let gt = ground_truth machine in
+    let tel = telemetry ~trace ~metrics in
+    let options =
+      {
+        Server.Daemon.default_options with
+        addr;
+        port;
+        workers;
+        config = Core.Pipeline.(default_config |> with_obs tel.obs);
+        default_params =
+          lazy
+            (let params, _, _ =
+               Machine.Measure.calibrate gt
+                 ~procs:[ 1; 2; 4; 8; 16; 32; 64 ]
+                 [
+                   Mdg.Graph.Matrix_init 64;
+                   Mdg.Graph.Matrix_add 64;
+                   Mdg.Graph.Matrix_multiply 64;
+                   Mdg.Graph.Matrix_init 128;
+                 ]
+             in
+             params);
+      }
+    in
+    let srv =
+      try Server.Daemon.start ~options ()
+      with Unix.Unix_error (err, _, _) ->
+        fail_msg "cannot listen on %s:%d: %s" addr port
+          (Unix.error_message err)
+    in
+    Printf.printf "paradigm plan server listening on %s:%d (%d workers)\n%!"
+      addr (Server.Daemon.port srv) workers;
+    let stop_requested = Atomic.make false in
+    let request_stop _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    while not (Atomic.get stop_requested) do
+      Unix.sleepf 0.2
+    done;
+    prerr_endline "shutting down (draining in-flight requests)...";
+    Server.Daemon.stop srv;
+    let s = Server.Daemon.stats srv in
+    Printf.printf
+      "served %d requests on %d connections; tape cache %d hits / %d misses; \
+       warm cache %d exact + %d shape hits / %d misses\n"
+      (Server.Daemon.requests_served srv)
+      (Server.Daemon.connections_accepted srv)
+      s.tape_hits s.tape_misses s.warm_hits s.warm_shape_hits s.warm_misses;
+    tel.finish ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent plan server (newline-delimited JSON over TCP; \
+          see the README's Serving section for the protocol).")
+    Term.(
+      const run $ port $ addr $ workers $ machine_arg $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   let doc =
@@ -364,10 +448,21 @@ let main =
   in
   Cmd.group
     (Cmd.info "paradigm" ~version:"1.0.0" ~doc)
-    [ graph_cmd; fit_cmd; allocate_cmd; schedule_cmd; simulate_cmd; compile_cmd ]
+    [
+      graph_cmd;
+      fit_cmd;
+      allocate_cmd;
+      schedule_cmd;
+      simulate_cmd;
+      compile_cmd;
+      serve_cmd;
+    ]
 
 let () =
-  try exit (Cmd.eval main)
-  with Failure msg ->
-    prerr_endline ("paradigm: " ^ msg);
-    exit 1
+  try exit (Cmd.eval main) with
+  | Failure msg ->
+      prerr_endline ("paradigm: " ^ msg);
+      exit 1
+  | Core.Pipeline.Error e ->
+      prerr_endline ("paradigm: " ^ Core.Pipeline.error_to_string e);
+      exit 1

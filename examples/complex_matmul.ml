@@ -35,7 +35,7 @@ let () =
     "SPMD (s)" "S_mpmd" "S_spmd" "E_mpmd" "E_spmd";
   List.iter
     (fun procs ->
-      let c = Core.Pipeline.compare_mpmd_spmd gt params g ~procs in
+      let c = Core.Pipeline.compare_mpmd_spmd_exn gt params g ~procs in
       Printf.printf "%6d %12.5f %12.5f %9.2f %9.2f %7.1f%% %7.1f%%\n" procs
         c.mpmd_time c.spmd_time c.mpmd_speedup c.spmd_speedup
         (100.0 *. c.mpmd_efficiency)
@@ -43,7 +43,7 @@ let () =
     [ 4; 8; 16; 32; 64 ];
 
   print_endline "\n=== schedule on 4 processors (cf. paper Figure 7) ===";
-  let plan = Core.Pipeline.plan params g ~procs:4 in
+  let plan = Core.Pipeline.plan_exn params g ~procs:4 in
   print_string
     (Core.Gantt.allocation_table plan.graph ~real:plan.allocation.alloc
        ~rounded:plan.psa.rounded_alloc);

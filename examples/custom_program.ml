@@ -39,7 +39,7 @@ let () =
       (Frontend.Lower.kernels prog)
   in
   let procs = 16 in
-  let plan = Core.Pipeline.plan params g ~procs in
+  let plan = Core.Pipeline.plan_exn params g ~procs in
   Printf.printf "\nPhi = %.4f s, T_psa = %.4f s on %d processors\n"
     (Core.Pipeline.phi plan)
     (Core.Pipeline.predicted_time plan)

@@ -16,7 +16,7 @@ let () =
      transfer table works; processing costs come from the Synthetic
      kernels themselves. *)
   let params = Costmodel.Params.cm5 () in
-  let plan = Core.Pipeline.plan params g ~procs in
+  let plan = Core.Pipeline.plan_exn params g ~procs in
 
   Printf.printf "convex-programming optimum Phi       : %.3f s\n"
     (Core.Pipeline.phi plan);

@@ -26,7 +26,7 @@ let () =
     "change" "Theorem 3 cap";
   List.iter
     (fun procs ->
-      let plan = Core.Pipeline.plan params g ~procs in
+      let plan = Core.Pipeline.plan_exn params g ~procs in
       let phi = Core.Pipeline.phi plan in
       let t_psa = Core.Pipeline.predicted_time plan in
       let pb = plan.psa.pb in
@@ -40,7 +40,7 @@ let () =
     [ 16; 32; 64 ];
 
   print_endline "\n=== simulated execution, 64 processors ===";
-  let plan = Core.Pipeline.plan params g ~procs:64 in
+  let plan = Core.Pipeline.plan_exn params g ~procs:64 in
   let sim = Core.Pipeline.simulate gt plan in
   let spmd = Core.Pipeline.simulate_spmd gt g ~procs:64 in
   let serial = Core.Pipeline.serial_time gt g in

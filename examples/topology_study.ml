@@ -21,7 +21,7 @@ let () =
   print_endline "=== complex matrix multiply on different interconnects ===";
   List.iter
     (fun procs ->
-      let plan = Core.Pipeline.plan params g ~procs in
+      let plan = Core.Pipeline.plan_exn params g ~procs in
       let prog = Core.Codegen.mpmd gt plan.graph (Core.Pipeline.schedule plan) in
       let base = (Machine.Sim.run gt prog).finish_time in
       Printf.printf "\n%d processors (uniform: %.5f s)\n" procs base;

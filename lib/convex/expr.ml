@@ -26,11 +26,12 @@ let view e =
 
 let id e = e.id
 
-let counter = ref 0
+(* Node ids only need to be unique and increasing along construction
+   order; the atomic counter keeps them unique when expressions are
+   built concurrently on several domains (the plan server does). *)
+let counter = Atomic.make 1
 
-let mk node =
-  incr counter;
-  { id = !counter; node }
+let mk node = { id = Atomic.fetch_and_add counter 1; node }
 
 let const c =
   if not (Float.is_finite c) || c < 0.0 then

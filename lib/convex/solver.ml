@@ -19,6 +19,7 @@ type options = {
   fista_burst : int;
   newton_max_iters : int;
   cg_max_iters : int;
+  accept_warm_start : bool;
 }
 
 let default_options =
@@ -35,6 +36,7 @@ let default_options =
     fista_burst = 0;
     newton_max_iters = 20;
     cg_max_iters = 8;
+    accept_warm_start = false;
   }
 
 type result = {
@@ -68,6 +70,11 @@ let compile ?(obs = Obs.null) expr =
   { expr; tape; ws = Tape.create_workspace tape }
 
 let eval_compiled ?(mu = 0.0) c x = Tape.eval ~mu c.tape c.ws x
+
+(* The tape itself is immutable after [compile]; only the workspace is
+   scratch.  Sharing the tape under a fresh workspace is what lets a
+   cached compilation serve concurrent solves on separate domains. *)
+let share_tape c = { c with ws = Tape.create_workspace c.tape }
 
 type engine = Tape | Precompiled of compiled | Reference
 
@@ -466,23 +473,32 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
      stage still solves to full tolerance — the anneal only exists to
      guide a cold start. *)
   let mu = ref mu_init in
+  let accepted = ref false in
   (match x0 with
   | Some _ when mu_init > mu_final ->
-      let fx = fg ~mu:mu_final x in
-      let rec probe alpha tries =
-        if tries = 0 then 0.0
-        else begin
-          let gd = ref 0.0 in
-          for i = 0 to n - 1 do
-            let ci = clamp1 lo.(i) hi.(i) (x.(i) -. (alpha *. g.(i))) in
-            cand.(i) <- ci;
-            gd := !gd +. (g.(i) *. (ci -. x.(i)))
-          done;
-          let fc = f ~mu:mu_final cand in
-          if fc <= fx +. (options.armijo_c *. !gd) && !gd < 0.0 then fx -. fc
-          else probe (alpha *. options.armijo_shrink) (tries - 1)
-        end
+      (* Achievable Armijo-backtracked decrease of the mu-smoothed
+         objective from [x]: the same sufficient-decrease test the
+         stages themselves run, so "no achievable decrease" means [x]
+         already satisfies the stage stopping criterion. *)
+      let probe_decrease mu =
+        let fx = fg ~mu x in
+        let rec probe alpha tries =
+          if tries = 0 then 0.0
+          else begin
+            let gd = ref 0.0 in
+            for i = 0 to n - 1 do
+              let ci = clamp1 lo.(i) hi.(i) (x.(i) -. (alpha *. g.(i))) in
+              cand.(i) <- ci;
+              gd := !gd +. (g.(i) *. (ci -. x.(i)))
+            done;
+            let fc = f ~mu cand in
+            if fc <= fx +. (options.armijo_c *. !gd) && !gd < 0.0 then fx -. fc
+            else probe (alpha *. options.armijo_shrink) (tries - 1)
+          end
+        in
+        (fx, probe options.step_init 30)
       in
+      let below_tol fx d = d <= options.tol *. (1.0 +. Float.abs fx) in
       (* Skip only when the probe cannot decrease the objective by more
          than the stages' own relative stall tolerance — i.e. [x0]
          already satisfies the stopping criterion the skipped stages
@@ -491,27 +507,43 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
          starts carried over from a perturbed problem (~1e-5..1e-4,
          anneal), where the carried-over point sits on kinks of the max
          and needs the anneal to recover full accuracy. *)
-      let decrease = probe options.step_init 30 in
-      let skip = decrease <= options.tol *. (1.0 +. Float.abs fx) in
+      let fx, decrease = probe_decrease mu_final in
+      let skip = below_tol fx decrease in
       if skip then mu := mu_final;
+      (* Warm-start acceptance (opt-in): when no Armijo step improves
+         the smoothed objective *and* none improves the exact one, [x0]
+         meets the stopping criterion of every stage the solve would
+         run — return it outright.  This is what makes answering an
+         exact-duplicate plan request O(probe) instead of O(solve). *)
+      if skip && options.accept_warm_start then begin
+        let fx0, d0 = probe_decrease 0.0 in
+        if below_tol fx0 d0 then accepted := true
+      end;
       if Obs.enabled obs then
         Obs.counter obs "solver.warm_start"
           [
             ("provided", 1.0);
             ("skipped_to_mu_final", if skip then 1.0 else 0.0);
+            ("accepted", if !accepted then 1.0 else 0.0);
             ("probe_decrease", decrease);
           ]
   | _ -> ());
-  let continue = ref true in
-  while !continue do
-    ignore (run_stage !mu);
-    if !mu <= mu_final then continue := false
-    else mu := Float.max (!mu *. options.mu_decay) mu_final
-  done;
-  (* Finish with one exact (subgradient) polishing stage; convergence is
-     judged on this final stage (intermediate smoothed stages need not
-     reach full tolerance to anneal onward). *)
-  let ok = run_stage 0.0 in
+  let ok =
+    if !accepted then true
+    else begin
+      let continue = ref true in
+      while !continue do
+        ignore (run_stage !mu);
+        if !mu <= mu_final then continue := false
+        else mu := Float.max (!mu *. options.mu_decay) mu_final
+      done;
+      (* Finish with one exact (subgradient) polishing stage;
+         convergence is judged on this final stage (intermediate
+         smoothed stages need not reach full tolerance to anneal
+         onward). *)
+      run_stage 0.0
+    end
+  in
   let value = f ~mu:0.0 x in
   let value =
     match start_copy with

@@ -58,6 +58,18 @@ type options = {
   newton_max_iters : int; (** outer Newton iterations per stage *)
   cg_max_iters : int;     (** CG iterations per Newton system (also
                               capped at the variable count) *)
+  accept_warm_start : bool;
+      (** when a supplied [x0] passes the warm-start probe at the
+          tightest smoothing temperature {e and} an identical probe of
+          the exact (unsmoothed) objective — i.e. no Armijo-backtracked
+          projected-gradient step achieves more than the stall
+          tolerance, the criterion every stage itself stops on — return
+          [x0] immediately with zero iterations.  Off by default.  The
+          probes are directional certificates only: at kinks of the
+          exact max objective they can accept a point ~1e-5 above the
+          optimum, so callers needing tighter guarantees (the plan
+          cache among them) should reuse stored results for exact
+          duplicates instead. *)
 }
 
 val default_options : options
@@ -89,6 +101,13 @@ val compile : ?obs:Obs.t -> Expr.t -> compiled
 val eval_compiled : ?mu:float -> compiled -> Numeric.Vec.t -> float
 (** Evaluate a compiled objective; equals {!Expr.eval} on the original
     expression.  O(|tape|), allocation-free. *)
+
+val share_tape : compiled -> compiled
+(** A new [compiled] value sharing the (immutable) instruction tape but
+    owning a fresh evaluation workspace.  This is how a cached
+    compilation is handed to concurrent solvers: each domain calls
+    [share_tape] on the cache entry and works in its own scratch
+    space.  O(|tape|) allocation, no recompilation. *)
 
 type engine =
   | Tape  (** compile the objective to a tape inside [solve] (default) *)

@@ -109,6 +109,13 @@ let solve ?options ?(engine = `Tape) ?obs ?x0 params g ~procs =
         let c = Convex.Solver.compile ?obs obj in
         ( Convex.Solver.Precompiled c,
           fun x -> Convex.Solver.eval_compiled c x )
+    | `Precompiled c ->
+        (* A tape-cache hit: the caller compiled (or retrieved) the
+           tape for exactly this (params, graph, procs) problem.  The
+           freshly built [obj] is only used for the A_p/C_p component
+           evaluations below. *)
+        ( Convex.Solver.Precompiled c,
+          fun x -> Convex.Solver.eval_compiled c x )
     | `Reference -> (Convex.Solver.Reference, fun x -> E.eval obj x)
   in
   let solver =

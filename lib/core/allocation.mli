@@ -38,7 +38,8 @@ val critical_path_expr :
 
 val solve :
   ?options:Convex.Solver.options ->
-  ?engine:[ `Tape | `Reference ] ->
+  ?engine:
+    [ `Tape | `Reference | `Precompiled of Convex.Solver.compiled ] ->
   ?obs:Obs.t ->
   ?x0:Numeric.Vec.t ->
   Costmodel.Params.t ->
@@ -59,10 +60,13 @@ val solve :
 
     [engine] (default [`Tape]) selects the objective evaluator: the
     objective is compiled once to a flat tape ({!Convex.Tape}) that
-    drives every solver iteration and the exact Φ evaluation, or
-    [`Reference] for the original DAG-walking
-    {!Convex.Expr.eval_grad} path (orders of magnitude slower on
-    large MDGs; kept for cross-checking). *)
+    drives every solver iteration and the exact Φ evaluation;
+    [`Precompiled c] reuses an existing compilation of {e this exact
+    problem's} objective (the plan cache's tape path — the caller is
+    responsible for the key discipline, see {!Plan_cache});
+    [`Reference] is the original DAG-walking {!Convex.Expr.eval_grad}
+    path (orders of magnitude slower on large MDGs; kept for
+    cross-checking). *)
 
 val evaluate :
   Costmodel.Params.t -> Mdg.Graph.t -> procs:int -> alloc:float array -> float

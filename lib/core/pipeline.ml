@@ -4,6 +4,8 @@ type config = {
   solver_options : Convex.Solver.options;
   psa_options : Psa.options;
   obs : Obs.t;
+  cache : Plan_cache.t option;
+  require_convergence : bool;
 }
 
 let default_config =
@@ -11,6 +13,8 @@ let default_config =
     solver_options = Convex.Solver.default_options;
     psa_options = Psa.default_options;
     obs = Obs.null;
+    cache = None;
+    require_convergence = false;
   }
 
 let with_solver_options solver_options config = { config with solver_options }
@@ -19,6 +23,52 @@ let with_psa_options psa_options config = { config with psa_options }
 
 let with_obs obs config = { config with obs }
 
+let with_cache cache config = { config with cache = Some cache }
+
+let with_require_convergence require_convergence config =
+  { config with require_convergence }
+
+type request = {
+  params : Costmodel.Params.t;
+  graph : Mdg.Graph.t;
+  procs : int;
+  x0 : Numeric.Vec.t option;
+}
+
+let request ?x0 params graph ~procs = { params; graph; procs; x0 }
+
+type error =
+  | Invalid_procs of int
+  | Missing_calibration of Mdg.Graph.kernel
+  | Invalid_request of string
+  | Solver_not_converged of { iterations : int; stages : int }
+
+let error_to_string = function
+  | Invalid_procs p -> Printf.sprintf "invalid processor count %d (need >= 1)" p
+  | Missing_calibration k ->
+      Format.asprintf "no cost-model calibration for kernel %a" G.pp_kernel k
+  | Invalid_request msg -> Printf.sprintf "invalid request: %s" msg
+  | Solver_not_converged { iterations; stages } ->
+      Printf.sprintf
+        "allocation solver did not converge (%d iterations over %d stages)"
+        iterations stages
+
+let error_kind = function
+  | Invalid_procs _ -> "invalid_procs"
+  | Missing_calibration _ -> "missing_calibration"
+  | Invalid_request _ -> "invalid_request"
+  | Solver_not_converged _ -> "solver_not_converged"
+
+exception Error of error
+
+type cache_use = Hit | Shape_hit | Miss | Off
+
+type cache_outcome = {
+  tape : cache_use;
+  warm : cache_use;
+  solve_skipped : bool;
+}
+
 type plan = {
   graph : G.t;
   params : Costmodel.Params.t;
@@ -26,27 +76,189 @@ type plan = {
   allocation : Allocation.result;
   psa : Psa.result;
   config : config;
+  cache : cache_outcome;
 }
 
-let plan ?(config = default_config) ?x0 params g ~procs =
+let no_cache = { tape = Off; warm = Off; solve_skipped = false }
+
+(* Allocation/PSA validation failures surface as [Invalid_argument];
+   uncalibrated kernels as [Not_found] from the parameter table.  The
+   checks below turn the ones a *well-typed* caller can still hit into
+   typed errors up front; anything residual (an impossible internal
+   state) stays an exception. *)
+let validate { params; graph; procs; x0 } =
+  if procs < 1 then Result.Error (Invalid_procs procs)
+  else
+    let g = G.normalise graph in
+    let missing =
+      Array.fold_left
+        (fun acc (nd : G.node) ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match Costmodel.Params.processing params nd.kernel with
+              | (_ : Costmodel.Params.processing) -> None
+              | exception Not_found -> Some nd.kernel))
+        None (G.nodes g)
+    in
+    match missing with
+    | Some k -> Result.Error (Missing_calibration k)
+    | None -> (
+        match x0 with
+        | Some x when Numeric.Vec.dim x <> G.num_nodes g ->
+            Result.Error
+              (Invalid_request
+                 (Printf.sprintf "x0 has dimension %d but the graph has %d nodes"
+                    (Numeric.Vec.dim x) (G.num_nodes g)))
+        | _ -> Result.Ok g)
+
+let emit_cache_counter obs outcome =
+  if Obs.enabled obs then
+    Obs.counter obs "pipeline.cache"
+      [
+        ("tape_hit", match outcome.tape with Hit -> 1.0 | _ -> 0.0);
+        ( "warm_hit",
+          match outcome.warm with Hit | Shape_hit -> 1.0 | _ -> 0.0 );
+        ("solve_skipped", if outcome.solve_skipped then 1.0 else 0.0);
+      ]
+
+(* Solve the allocation through the configured cache.  An exact
+   (graph, constants, procs) duplicate is answered with the cached
+   result outright — the solver is deterministic, so re-solving the
+   identical problem could only reproduce it, and even the warm-accept
+   probe costs dozens of tape evaluations.  Otherwise reuse the
+   compiled tape for the key and seed the solver with the latest
+   same-shape optimum — the warm-start probe then skips the smoothing
+   anneal, but the final stages still run to full tolerance: the
+   probe's directional no-decrease certificate is too weak at kinks of
+   the exact objective to return a perturbed-problem seed verbatim
+   (its Phi can be ~1e-5 off), so [accept_warm_start] is left to the
+   caller's solver options rather than forced here. *)
+let solve_cached config cache (req : request) g =
+  let key =
+    {
+      Plan_cache.graph_hash = G.structural_hash g;
+      fingerprint = Costmodel.Params.fingerprint req.params;
+      procs = req.procs;
+    }
+  in
+  let obs = config.obs in
+  let hit = match req.x0 with Some _ -> None | None -> Plan_cache.warm cache key in
+  match hit with
+  | Some (Plan_cache.Exact allocation) ->
+      let outcome =
+        {
+          tape = (if Plan_cache.tape_cached cache key then Hit else Miss);
+          warm = Hit;
+          solve_skipped = true;
+        }
+      in
+      emit_cache_counter obs outcome;
+      (allocation, outcome)
+  | (None | Some (Seed _)) as hit ->
+      let compiled, tape_use =
+        Plan_cache.tape cache key ~compile:(fun () ->
+            Convex.Solver.compile ~obs
+              (Allocation.objective req.params g ~procs:req.procs))
+      in
+      let solve ?x0 () =
+        Allocation.solve ~options:config.solver_options
+          ~engine:(`Precompiled compiled) ~obs ?x0 req.params g
+          ~procs:req.procs
+      in
+      let allocation, warm_use =
+        match req.x0 with
+        | Some x -> (solve ~x0:x (), Off)
+        | None -> (
+            match hit with
+            | Some (Plan_cache.Seed seed) ->
+                (* Warm-serving guarantee: a seeded solve's smoothing
+                   ladder is scaled by its start point, so from a
+                   sibling optimum it can stall measurably above what
+                   the cold solve finds.  Solve cold-deterministically
+                   (bit-identical to the uncached path) and use the
+                   sibling optimum only as a candidate: when the
+                   current objective values it below the cold answer, a
+                   seeded re-solve polishes it further, and the better
+                   of the two is kept — the seed can improve the plan,
+                   never degrade it (test_cache_prop exercises this). *)
+                let cold = solve () in
+                let seed_phi =
+                  Convex.Solver.eval_compiled compiled seed
+                in
+                let best =
+                  if seed_phi < cold.phi then
+                    let seeded = solve ~x0:seed () in
+                    if seeded.phi < cold.phi then seeded else cold
+                  else cold
+                in
+                (best, Shape_hit)
+            | _ -> (solve (), Miss))
+      in
+      Plan_cache.store_warm cache key allocation;
+      let outcome =
+        {
+          tape = (match tape_use with `Hit -> Hit | `Miss -> Miss);
+          warm = warm_use;
+          solve_skipped = allocation.solver.iterations = 0;
+        }
+      in
+      emit_cache_counter obs outcome;
+      (allocation, outcome)
+
+let plan ?(config = default_config) (req : request) =
   let obs = config.obs in
   Obs.span obs ~cat:"pipeline" "pipeline.plan"
-    ~args:[ ("procs", Obs.Events.Int procs) ]
+    ~args:[ ("procs", Obs.Events.Int req.procs) ]
   @@ fun () ->
-  let g = G.normalise g in
-  let allocation =
-    Obs.span obs ~cat:"pipeline" "pipeline.allocate"
-      ~args:[ ("nodes", Obs.Events.Int (G.num_nodes g)) ]
-      (fun () ->
-        Allocation.solve ~options:config.solver_options ~obs ?x0 params g
-          ~procs)
-  in
-  let psa =
-    Obs.span obs ~cat:"pipeline" "pipeline.schedule" (fun () ->
-        Psa.schedule ~options:config.psa_options ~obs params g ~procs
-          ~alloc:allocation.alloc)
-  in
-  { graph = g; params; procs; allocation; psa; config }
+  match validate req with
+  | Error e -> Result.Error e
+  | Ok g -> (
+      match
+        Obs.span obs ~cat:"pipeline" "pipeline.allocate"
+          ~args:[ ("nodes", Obs.Events.Int (G.num_nodes g)) ]
+          (fun () ->
+            match config.cache with
+            | Some cache -> solve_cached config cache req g
+            | None ->
+                ( Allocation.solve ~options:config.solver_options ~obs
+                    ?x0:req.x0 req.params g ~procs:req.procs,
+                  no_cache ))
+      with
+      | exception Invalid_argument msg -> Result.Error (Invalid_request msg)
+      | allocation, cache ->
+          if config.require_convergence && not allocation.solver.converged
+          then
+            Result.Error
+              (Solver_not_converged
+                 {
+                   iterations = allocation.solver.iterations;
+                   stages = allocation.solver.stages;
+                 })
+          else (
+            match
+              Obs.span obs ~cat:"pipeline" "pipeline.schedule" (fun () ->
+                  Psa.schedule ~options:config.psa_options ~obs req.params g
+                    ~procs:req.procs ~alloc:allocation.alloc)
+            with
+            | exception Invalid_argument msg ->
+                Result.Error (Invalid_request msg)
+            | psa ->
+                Ok
+                  {
+                    graph = g;
+                    params = req.params;
+                    procs = req.procs;
+                    allocation;
+                    psa;
+                    config;
+                    cache;
+                  }))
+
+let plan_exn ?config ?x0 params g ~procs =
+  match plan ?config (request ?x0 params g ~procs) with
+  | Ok p -> p
+  | Result.Error e -> raise (Error e)
 
 let phi p = p.allocation.phi
 
@@ -113,33 +325,19 @@ let comparison_of ~procs ~serial ~predicted ~phi ~mpmd_time ~spmd_time =
     phi;
   }
 
-let compare_mpmd_spmd ?(config = default_config) gt params g ~procs =
-  let g = G.normalise g in
-  let p = plan ~config params g ~procs in
-  let mpmd = simulate gt p in
-  let spmd = simulate_spmd ~obs:config.obs gt g ~procs in
-  let serial = serial_time gt g in
-  comparison_of ~procs ~serial ~predicted:(predicted_time p) ~phi:(phi p)
-    ~mpmd_time:mpmd.finish_time ~spmd_time:spmd.finish_time
+let compare_mpmd_spmd ?(config = default_config) gt (req : request) =
+  match plan ~config { req with graph = G.normalise req.graph } with
+  | Result.Error e -> Result.Error e
+  | Ok p ->
+      let mpmd = simulate gt p in
+      let spmd = simulate_spmd ~obs:config.obs gt p.graph ~procs:req.procs in
+      let serial = serial_time gt p.graph in
+      Ok
+        (comparison_of ~procs:req.procs ~serial ~predicted:(predicted_time p)
+           ~phi:(phi p) ~mpmd_time:mpmd.finish_time
+           ~spmd_time:spmd.finish_time)
 
-(* Deprecated pre-[config] entry points, kept so external callers of
-   the scattered optional-argument API keep compiling. *)
-
-let config_of_options ?solver_options ?psa_options () =
-  let config = default_config in
-  let config =
-    match solver_options with
-    | None -> config
-    | Some o -> with_solver_options o config
-  in
-  match psa_options with None -> config | Some o -> with_psa_options o config
-
-let plan_with_options ?solver_options ?psa_options params g ~procs =
-  plan ~config:(config_of_options ?solver_options ?psa_options ()) params g
-    ~procs
-
-let compare_mpmd_spmd_with_options ?solver_options ?psa_options gt params g
-    ~procs =
-  compare_mpmd_spmd
-    ~config:(config_of_options ?solver_options ?psa_options ())
-    gt params g ~procs
+let compare_mpmd_spmd_exn ?config gt params g ~procs =
+  match compare_mpmd_spmd ?config gt (request params g ~procs) with
+  | Ok c -> c
+  | Result.Error e -> raise (Error e)

@@ -1,48 +1,139 @@
 (** End-to-end compilation pipeline: the composition the PARADIGM
-    compiler performs (paper Section 1.2).
+    compiler performs (paper Section 1.2), behind a single
+    request/result planning surface.
 
-    [plan] runs allocation (convex program) and scheduling (PSA);
+    {!plan} runs allocation (convex program) and scheduling (PSA) for
+    a {!request} and returns [(plan, error) result] — every failure
+    mode the pipeline can encounter (bad processor count, missing
+    calibration, invalid inputs, solver non-convergence under
+    {!config.require_convergence}) is a typed {!error}, not an
+    exception.  The same entry point serves both transports: the
+    [paradigm] CLI subcommands and the socket plan server
+    ({!Server.Daemon}) construct a request, call {!plan}, and render
+    the outcome for their medium.  {!plan_exn} is the thin
+    raise-on-error convenience for tests and scripts.
+
     [simulate] generates the MPMD program and executes it on the
     simulated machine; [simulate_spmd] runs the pure-data-parallel
     baseline the paper compares against.
 
     Every entry point is parameterised by a single {!config} record
-    carrying the solver options, PSA options and the telemetry sink —
-    build one from {!default_config} with the [with_*] combinators:
+    carrying the solver options, PSA options, the telemetry sink and
+    (optionally) the shared {!Plan_cache} — build one from
+    {!default_config} with the [with_*] combinators:
 
     {[
       let config =
         Pipeline.(
           default_config
           |> with_psa_options { Psa.default_options with pb = Psa.Fixed 8 }
+          |> with_cache (Plan_cache.create ())
           |> with_obs (Obs.Recorder.sink recorder))
       in
-      Pipeline.plan ~config params g ~procs
+      Pipeline.plan ~config (Pipeline.request params g ~procs)
     ]}
+
+    With a cache configured, {!plan} keys the compiled objective tape
+    and the last result by [(Mdg.Graph.structural_hash,
+    Costmodel.Params.fingerprint, procs)]: an exact duplicate request
+    is answered with the cached allocation outright (the solver is
+    deterministic, so re-solving could only reproduce it), while a
+    near-duplicate (same MDG shape, perturbed constants) seeds the
+    solver with the sibling optimum and lets the warm-start probe
+    decide whether the smoothing anneal is needed.  The per-request
+    outcome is reported in {!plan.cache}.
 
     With a live sink the pipeline emits ["pipeline.plan"] /
     ["pipeline.allocate"] / ["pipeline.schedule"] /
     ["pipeline.codegen"] / ["pipeline.simulate"] wall-clock spans on
-    pid 0, the solver and PSA emit their convergence and
-    rounding/placement events (see {!Convex.Solver.solve} and
-    {!Psa.schedule}), and the machine simulator forwards its
-    simulated-time event trace on pid 1 (MPMD) / pid 2 (SPMD) — so a
-    single Chrome trace shows the whole compile-and-run timeline. *)
+    pid 0 plus a ["pipeline.cache"] counter per cached plan, the
+    solver and PSA emit their convergence and rounding/placement
+    events (see {!Convex.Solver.solve} and {!Psa.schedule}), and the
+    machine simulator forwards its simulated-time event trace on pid 1
+    (MPMD) / pid 2 (SPMD). *)
 
 type config = {
   solver_options : Convex.Solver.options;
   psa_options : Psa.options;
   obs : Obs.t;
+  cache : Plan_cache.t option;
+      (** shared tape/warm-start caches; [None] (default) plans cold *)
+  require_convergence : bool;
+      (** return {!error.Solver_not_converged} instead of a plan when
+          the final exact stage misses its tolerance (default
+          [false]: the iterate is still feasible and usually within
+          the solver's accuracy band, so batch callers keep it) *)
 }
 
 val default_config : config
-(** Default solver and PSA options, {!Obs.null} sink. *)
+(** Default solver and PSA options, {!Obs.null} sink, no cache, no
+    convergence requirement. *)
 
 val with_solver_options : Convex.Solver.options -> config -> config
 
 val with_psa_options : Psa.options -> config -> config
 
 val with_obs : Obs.t -> config -> config
+
+val with_cache : Plan_cache.t -> config -> config
+
+val with_require_convergence : bool -> config -> config
+
+(** {2 Requests and errors} *)
+
+type request = {
+  params : Costmodel.Params.t;
+  graph : Mdg.Graph.t;
+  procs : int;
+  x0 : Numeric.Vec.t option;
+      (** explicit warm start (log-space, indexed by the normalised
+          graph's nodes); takes precedence over the cache's seed *)
+}
+
+val request :
+  ?x0:Numeric.Vec.t ->
+  Costmodel.Params.t ->
+  Mdg.Graph.t ->
+  procs:int ->
+  request
+
+type error =
+  | Invalid_procs of int
+      (** processor count outside [1, ∞) *)
+  | Missing_calibration of Mdg.Graph.kernel
+      (** the parameter set has no Amdahl entry for a kernel used by
+          the graph *)
+  | Invalid_request of string
+      (** structurally invalid input surfaced by a pipeline stage
+          (e.g. a fixed PB that is not a power of two, an allocation
+          outside the machine) *)
+  | Solver_not_converged of { iterations : int; stages : int }
+      (** only with {!config.require_convergence} *)
+
+val error_to_string : error -> string
+(** One-line human-readable rendering, stable enough for CLI output. *)
+
+val error_kind : error -> string
+(** Short machine-readable tag (["invalid_procs"],
+    ["missing_calibration"], ["invalid_request"],
+    ["solver_not_converged"]) — the wire protocol's error kind. *)
+
+exception Error of error
+(** Raised by {!plan_exn}; CLI boundaries catch it and exit 1. *)
+
+(** {2 Planning} *)
+
+type cache_use = Hit | Shape_hit | Miss | Off
+
+type cache_outcome = {
+  tape : cache_use;   (** [Shape_hit] never applies to tapes *)
+  warm : cache_use;
+  solve_skipped : bool;
+      (** the allocation was served without entering the solver (an
+          exact warm-cache hit), or the solver accepted a caller-
+          supplied warm start outright — see
+          {!Convex.Solver.options.accept_warm_start} *)
+}
 
 type plan = {
   graph : Mdg.Graph.t;
@@ -52,21 +143,24 @@ type plan = {
   psa : Psa.result;
   config : config;  (** the configuration the plan was built with;
                         [simulate] reuses its sink *)
+  cache : cache_outcome;
 }
 
-val plan :
+val plan : ?config:config -> request -> (plan, error) result
+(** Normalises the graph if necessary, validates the request, solves
+    the allocation problem (through the cache when configured) and
+    runs the PSA. *)
+
+val plan_exn :
   ?config:config ->
   ?x0:Numeric.Vec.t ->
   Costmodel.Params.t ->
   Mdg.Graph.t ->
   procs:int ->
   plan
-(** Normalises the graph if necessary, solves the allocation problem
-    and runs the PSA.  [x0] warm-starts the allocation solve in
-    log-space, indexed by the normalised graph's nodes — typically
-    [Array.map log previous.allocation.alloc] from an earlier plan of
-    the same graph under nearby parameters or machine size (see
-    {!Allocation.solve}). *)
+(** [plan] with the request inline, raising {!Error} on failure —
+    for tests, benchmarks and scripts where an error is fatal
+    anyway. *)
 
 val phi : plan -> float
 (** Φ: the convex program's optimal finish time. *)
@@ -75,6 +169,8 @@ val predicted_time : plan -> float
 (** T_psa: the schedule's (model-)predicted program finish time. *)
 
 val schedule : plan -> Schedule.t
+
+(** {2 Simulation} *)
 
 val simulate : Machine.Ground_truth.t -> plan -> Machine.Sim.result
 (** Generate the MPMD program and execute it on the machine.  Uses the
@@ -121,34 +217,17 @@ val comparison_of :
 val compare_mpmd_spmd :
   ?config:config ->
   Machine.Ground_truth.t ->
-  Costmodel.Params.t ->
-  Mdg.Graph.t ->
-  procs:int ->
-  comparison
+  request ->
+  (comparison, error) result
 (** The full Figure 8 / Figure 9 / Table 3 measurement for one machine
     size. *)
 
-(** {2 Deprecated}
-
-    Thin wrappers over the {!config} API, kept for source
-    compatibility with the pre-[config] optional-argument interface. *)
-
-val plan_with_options :
-  ?solver_options:Convex.Solver.options ->
-  ?psa_options:Psa.options ->
-  Costmodel.Params.t ->
-  Mdg.Graph.t ->
-  procs:int ->
-  plan
-[@@ocaml.deprecated "Use Pipeline.plan ?config with Pipeline.with_* builders."]
-
-val compare_mpmd_spmd_with_options :
-  ?solver_options:Convex.Solver.options ->
-  ?psa_options:Psa.options ->
+val compare_mpmd_spmd_exn :
+  ?config:config ->
   Machine.Ground_truth.t ->
   Costmodel.Params.t ->
   Mdg.Graph.t ->
   procs:int ->
   comparison
-[@@ocaml.deprecated
-  "Use Pipeline.compare_mpmd_spmd ?config with Pipeline.with_* builders."]
+(** [compare_mpmd_spmd] with the request inline, raising {!Error} on
+    failure — the {!plan_exn} of comparisons. *)

@@ -1,0 +1,152 @@
+type key = { graph_hash : int64; fingerprint : int64; procs : int }
+
+type stats = {
+  tape_hits : int;
+  tape_misses : int;
+  warm_hits : int;
+  warm_shape_hits : int;
+  warm_misses : int;
+  tape_entries : int;
+  warm_entries : int;
+}
+
+type warm_hit = Exact of Allocation.result | Seed of Numeric.Vec.t
+
+type t = {
+  lock : Mutex.t;
+  max_tapes : int;
+  max_warm : int;
+  tapes : (key, Convex.Solver.compiled) Hashtbl.t;
+  tape_order : key Queue.t;
+  warm_exact : (key, Allocation.result) Hashtbl.t;
+  warm_order : key Queue.t;
+  (* Latest optimum per (graph_hash, procs) shape, whatever the
+     fingerprint — the near-duplicate seed. *)
+  warm_shape : (int64 * int, Numeric.Vec.t) Hashtbl.t;
+  mutable tape_hits : int;
+  mutable tape_misses : int;
+  mutable warm_hits : int;
+  mutable warm_shape_hits : int;
+  mutable warm_misses : int;
+}
+
+let create ?(max_tapes = 64) ?(max_warm = 512) () =
+  if max_tapes < 1 || max_warm < 1 then
+    invalid_arg "Plan_cache.create: bounds must be >= 1";
+  {
+    lock = Mutex.create ();
+    max_tapes;
+    max_warm;
+    tapes = Hashtbl.create 32;
+    tape_order = Queue.create ();
+    warm_exact = Hashtbl.create 64;
+    warm_order = Queue.create ();
+    warm_shape = Hashtbl.create 32;
+    tape_hits = 0;
+    tape_misses = 0;
+    warm_hits = 0;
+    warm_shape_hits = 0;
+    warm_misses = 0;
+  }
+
+let locked t f = Mutex.protect t.lock f
+
+let shape_of key = (key.graph_hash, key.procs)
+
+let tape t key ~compile =
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tapes key with
+        | Some c ->
+            t.tape_hits <- t.tape_hits + 1;
+            Some c
+        | None ->
+            t.tape_misses <- t.tape_misses + 1;
+            None)
+  in
+  match cached with
+  | Some c -> (Convex.Solver.share_tape c, `Hit)
+  | None ->
+      (* Compile outside the lock: tape compilation of a large MDG is
+         the expensive step, and other keys' requests must not queue
+         behind it.  A concurrent miss on the same key compiles twice
+         and the second insertion is dropped. *)
+      let c = compile () in
+      locked t (fun () ->
+          if not (Hashtbl.mem t.tapes key) then begin
+            if Queue.length t.tape_order >= t.max_tapes then
+              Hashtbl.remove t.tapes (Queue.pop t.tape_order);
+            Hashtbl.add t.tapes key c;
+            Queue.add key t.tape_order
+          end);
+      (c, `Miss)
+
+(* Private copies both ways: cached optima must not alias arrays the
+   caller (or a concurrent domain) can mutate. *)
+let copy_result (r : Allocation.result) =
+  {
+    r with
+    alloc = Array.copy r.alloc;
+    solver = { r.solver with x = Array.copy r.solver.x };
+  }
+
+let warm t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.warm_exact key with
+      | Some r ->
+          t.warm_hits <- t.warm_hits + 1;
+          Some (Exact (copy_result r))
+      | None -> (
+          match Hashtbl.find_opt t.warm_shape (shape_of key) with
+          | Some x ->
+              t.warm_shape_hits <- t.warm_shape_hits + 1;
+              Some (Seed (Array.copy x))
+          | None ->
+              t.warm_misses <- t.warm_misses + 1;
+              None))
+
+let tape_cached t key =
+  locked t (fun () ->
+      let resident = Hashtbl.mem t.tapes key in
+      if resident then t.tape_hits <- t.tape_hits + 1;
+      resident)
+
+let store_warm t key result =
+  let result = copy_result result in
+  locked t (fun () ->
+      if not (Hashtbl.mem t.warm_exact key) then begin
+        if Queue.length t.warm_order >= t.max_warm then begin
+          let old = Queue.pop t.warm_order in
+          Hashtbl.remove t.warm_exact old;
+          (* The shape seed may outlive its exact entry; that is fine —
+             it is only ever a starting point. *)
+        end;
+        Queue.add key t.warm_order
+      end;
+      Hashtbl.replace t.warm_exact key result;
+      Hashtbl.replace t.warm_shape (shape_of key) result.solver.x)
+
+let stats t =
+  locked t (fun () ->
+      {
+        tape_hits = t.tape_hits;
+        tape_misses = t.tape_misses;
+        warm_hits = t.warm_hits;
+        warm_shape_hits = t.warm_shape_hits;
+        warm_misses = t.warm_misses;
+        tape_entries = Hashtbl.length t.tapes;
+        warm_entries = Hashtbl.length t.warm_exact;
+      })
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tapes;
+      Hashtbl.reset t.warm_exact;
+      Hashtbl.reset t.warm_shape;
+      Queue.clear t.tape_order;
+      Queue.clear t.warm_order;
+      t.tape_hits <- 0;
+      t.tape_misses <- 0;
+      t.warm_hits <- 0;
+      t.warm_shape_hits <- 0;
+      t.warm_misses <- 0)

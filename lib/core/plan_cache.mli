@@ -1,0 +1,86 @@
+(** Shared plan caches: compiled objective tapes and warm-start seeds.
+
+    The planner answers heavy, highly repetitive traffic: many clients
+    submit the same MDG shapes under the same (or nearby) cost
+    constants and machine sizes.  Two caches amortise that repetition:
+
+    - the {b tape cache} maps [(structural hash, cost fingerprint,
+      procs)] to the objective's compiled instruction tape
+      ({!Convex.Solver.compile}), so repeated requests skip the
+      Expr-DAG construction-to-tape compilation;
+    - the {b warm-start cache} maps the same key (exactly) and its
+      shape projection [(structural hash, procs)] (approximately) to
+      the last optimum found.  An exact duplicate is answered with the
+      cached {!Allocation.result} outright — the solver is not
+      re-entered at all — while a near-duplicate (same shape,
+      perturbed constants) re-solves seeded at the cached optimum and
+      skips the smoothing anneal when the warm-start probe allows it
+      ({!Convex.Solver.solve}).
+
+    Keys use {!Mdg.Graph.structural_hash} and
+    {!Costmodel.Params.fingerprint}; because the structural hash
+    ignores node labels, requests for the same computation under
+    different names share entries.
+
+    All operations are thread-safe (one internal mutex; compilation
+    itself happens outside the lock).  Entry counts are bounded;
+    insertion beyond the bound evicts the oldest entry (FIFO), which
+    matches the serving pattern — a retired request mix simply ages
+    out.  Typically one cache is created per server (or per benchmark
+    sweep) and passed to {!Pipeline.plan} via
+    {!Pipeline.config.cache}. *)
+
+type t
+
+type key = { graph_hash : int64; fingerprint : int64; procs : int }
+
+type stats = {
+  tape_hits : int;
+  tape_misses : int;
+  warm_hits : int;       (** exact-key warm hits *)
+  warm_shape_hits : int; (** same-shape, different-fingerprint hits *)
+  warm_misses : int;
+  tape_entries : int;
+  warm_entries : int;
+}
+
+val create : ?max_tapes:int -> ?max_warm:int -> unit -> t
+(** [max_tapes] (default 64) bounds compiled-tape entries; [max_warm]
+    (default 512) bounds warm-start vectors. *)
+
+val tape :
+  t -> key -> compile:(unit -> Convex.Solver.compiled) ->
+  Convex.Solver.compiled * [ `Hit | `Miss ]
+(** The compiled tape for [key], compiling (outside the lock) and
+    inserting on a miss.  The returned value owns a private workspace
+    ({!Convex.Solver.share_tape}) and may be used freely on the
+    calling domain.  Two domains missing the same key concurrently
+    both compile; one insertion wins — harmless, just redundant
+    work. *)
+
+type warm_hit =
+  | Exact of Allocation.result
+      (** The exact [(hash, fingerprint, procs)] entry: the previous
+          solve's full result, reusable verbatim (the solver is
+          deterministic, so re-solving the identical problem could only
+          reproduce it).  Arrays are private copies. *)
+  | Seed of Numeric.Vec.t
+      (** The most recent log-space optimum of the same [(hash, procs)]
+          shape under any fingerprint — a starting point only. *)
+
+val warm : t -> key -> warm_hit option
+
+val tape_cached : t -> key -> bool
+(** Whether a compiled tape for [key] is resident, without
+    materialising a workspace; counts as a tape hit when it is.  Used
+    by the exact-duplicate fast path, which answers without evaluating
+    the objective. *)
+
+val store_warm : t -> key -> Allocation.result -> unit
+(** Record a completed solve under the exact key, and its optimum as
+    the shape's most-recent seed. *)
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop every entry and zero the counters. *)

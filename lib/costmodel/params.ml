@@ -56,6 +56,26 @@ let processing t kernel =
 let known_kernels t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
 
+(* The fingerprint folds every constant that enters a cost expression:
+   the five transfer parameters and the registered per-kernel Amdahl
+   pairs (in the deterministic [known_kernels] order).  Two parameter
+   sets with equal fingerprints therefore produce identical objectives
+   on the same graph, which is what makes the fingerprint a sound
+   plan-cache key component. *)
+let fingerprint t =
+  let module F = Numeric.Fnv in
+  let tr = t.transfer in
+  let h = F.float F.seed tr.t_ss in
+  let h = F.float h tr.t_ps in
+  let h = F.float h tr.t_sr in
+  let h = F.float h tr.t_pr in
+  let h = F.float h tr.t_n in
+  List.fold_left
+    (fun h k ->
+      let { alpha; tau } = Hashtbl.find t.table k in
+      F.float (F.float (Mdg.Graph.hash_kernel h k) alpha) tau)
+    h (known_kernels t)
+
 (* Table 2 of the paper: microsecond/nanosecond constants converted to
    seconds. *)
 let cm5_transfer =

@@ -39,6 +39,14 @@ val processing : t -> Mdg.Graph.kernel -> processing
 val known_kernels : t -> Mdg.Graph.kernel list
 (** Registered matrix kernels, deterministically ordered. *)
 
+val fingerprint : t -> int64
+(** Deterministic 64-bit digest of every cost constant: the transfer
+    parameters and the registered per-kernel Amdahl pairs (in
+    {!known_kernels} order).  Equal fingerprints yield identical cost
+    expressions on the same graph, so the fingerprint is the
+    cost-constant component of plan-cache keys.  Stable across
+    processes. *)
+
 val cm5_transfer : transfer
 (** The paper's Table 2 constants for the CM-5. *)
 

@@ -174,6 +174,31 @@ let stop_node g =
   | [ s ] -> s
   | _ -> invalid_arg "Graph.stop_node: graph not normalised"
 
+let hash_kernel h (k : kernel) =
+  let module F = Numeric.Fnv in
+  match k with
+  | Matrix_init n -> F.int (F.byte h 1) n
+  | Matrix_add n -> F.int (F.byte h 2) n
+  | Matrix_multiply n -> F.int (F.byte h 3) n
+  | Synthetic { alpha; tau } -> F.float (F.float (F.byte h 4) alpha) tau
+  | Dummy -> F.byte h 5
+
+(* Structural identity for the plan caches: node kernels (in id order)
+   and the edge relation with its transfer payloads.  Labels are
+   deliberately excluded — they never enter the cost model, so two
+   clients submitting the same computation under different node names
+   share cache entries. *)
+let structural_hash g =
+  let module F = Numeric.Fnv in
+  let h = F.int F.seed (num_nodes g) in
+  let h = Array.fold_left (fun h nd -> hash_kernel h nd.kernel) h g.nodes in
+  List.fold_left
+    (fun h e ->
+      let h = F.int (F.int h e.src) e.dst in
+      let h = F.float h e.bytes in
+      F.byte h (match e.kind with Oned -> 1 | Twod -> 2))
+    h g.edges
+
 let kernel_flops = function
   | Matrix_init n -> float_of_int (n * n)
   | Matrix_add n -> float_of_int (n * n)

@@ -101,6 +101,20 @@ val stop_node : t -> int
 (** The unique sink of a normalised graph; raises [Invalid_argument]
     otherwise. *)
 
+(** {1 Structural identity} *)
+
+val structural_hash : t -> int64
+(** A deterministic 64-bit FNV-1a digest of the graph's structure:
+    node count, per-node kernels in id order, and every edge's
+    endpoints, byte count and transfer kind.  Node {e labels are
+    excluded} — they never affect cost — so two requests for the same
+    computation under different names share plan-cache entries.
+    Stable across processes and runs. *)
+
+val hash_kernel : int64 -> kernel -> int64
+(** Fold one kernel into an FNV-1a state (see {!Numeric.Fnv}); exposed
+    so cost-model fingerprints hash kernels the same way. *)
+
 (** {1 Kernel helpers} *)
 
 val kernel_flops : kernel -> float

@@ -51,15 +51,26 @@ let kernel_to_string : Graph.kernel -> string = function
   | Synthetic { alpha; tau } -> Printf.sprintf "synthetic:%.17g:%.17g" alpha tau
   | Dummy -> "dummy"
 
-let kernel_of_string lineno s : Graph.kernel =
+let kernel_of_string s : (Graph.kernel, string) result =
+  let bad () = Result.Error (Printf.sprintf "bad kernel %S" s) in
+  let int n k =
+    match int_of_string_opt n with Some n -> Ok (k n) | None -> bad ()
+  in
   match String.split_on_char ':' s with
-  | [ "dummy" ] -> Dummy
-  | [ "init"; n ] -> Matrix_init (int_of_string n)
-  | [ "add"; n ] -> Matrix_add (int_of_string n)
-  | [ "mul"; n ] -> Matrix_multiply (int_of_string n)
-  | [ "synthetic"; a; t ] ->
-      Synthetic { alpha = float_of_string a; tau = float_of_string t }
-  | _ -> fail lineno "bad kernel %S" s
+  | [ "dummy" ] -> Ok Graph.Dummy
+  | [ "init"; n ] -> int n (fun n -> Graph.Matrix_init n)
+  | [ "add"; n ] -> int n (fun n -> Graph.Matrix_add n)
+  | [ "mul"; n ] -> int n (fun n -> Graph.Matrix_multiply n)
+  | [ "synthetic"; a; t ] -> (
+      match (float_of_string_opt a, float_of_string_opt t) with
+      | Some alpha, Some tau -> Ok (Graph.Synthetic { alpha; tau })
+      | _ -> bad ())
+  | _ -> bad ()
+
+let kernel_of_string_at lineno s : Graph.kernel =
+  match kernel_of_string s with
+  | Ok k -> k
+  | Result.Error msg -> fail lineno "%s" msg
 
 let kind_to_string : Graph.transfer_kind -> string = function
   | Oned -> "1d"
@@ -119,7 +130,7 @@ let of_string text =
                       if id <> !next_id then
                         fail lineno "node ids must be dense and ordered (got %d, expected %d)"
                           id !next_id;
-                      let kernel = kernel_of_string lineno kernel in
+                      let kernel = kernel_of_string_at lineno kernel in
                       (* The label is the first '"' on the line. *)
                       let qpos =
                         match String.index_opt line '"' with

@@ -23,6 +23,14 @@ val of_string : string -> Graph.t
 (** Raises {!Parse_error} on malformed input, and [Invalid_argument]
     if the described graph itself is invalid (cycles, bad sizes...). *)
 
+val kernel_to_string : Graph.kernel -> string
+(** The kernel field of the line format ([mul:64],
+    [synthetic:<alpha>:<tau>], ...), reused by the plan server's wire
+    protocol. *)
+
+val kernel_of_string : string -> (Graph.kernel, string) result
+(** Inverse of {!kernel_to_string}; [Error] describes the problem. *)
+
 val save : string -> Graph.t -> unit
 (** Write to a file path. *)
 

@@ -1,0 +1,26 @@
+type t = int64
+
+let seed = 0xcbf29ce484222325L
+
+let prime = 0x100000001b3L
+
+let byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let int64 h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical v (8 * shift)))
+  done;
+  !h
+
+let int h v = int64 h (Int64.of_int v)
+
+let float h v = int64 h (Int64.bits_of_float v)
+
+let string h s =
+  let h = ref (int h (String.length s)) in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h
+
+let to_hex h = Printf.sprintf "%016Lx" h

@@ -12,6 +12,16 @@ let emit t ev = match t with Null -> () | Sink s -> s.emit ev
 
 let flush = function Null -> () | Sink s -> s.flush ()
 
+let locking = function
+  | Null -> Null
+  | Sink s ->
+      let m = Mutex.create () in
+      Sink
+        {
+          emit = (fun ev -> Mutex.protect m (fun () -> s.emit ev));
+          flush = (fun () -> Mutex.protect m (fun () -> s.flush ()));
+        }
+
 let tee a b =
   match (a, b) with
   | Null, s | s, Null -> s

@@ -23,6 +23,12 @@ val emit : t -> Events.t -> unit
 
 val flush : t -> unit
 
+val locking : t -> t
+(** A sink serialising [emit] and [flush] through a private mutex.
+    Wrap any non-thread-safe sink (e.g. {!Recorder.sink}) in this
+    before sharing it across domains — the plan server does exactly
+    that.  [locking null] is [null]. *)
+
 val tee : t -> t -> t
 (** A sink forwarding every event to both arguments.  [tee null s]
     and [tee s null] are [s] itself. *)

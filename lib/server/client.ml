@@ -1,0 +1,68 @@
+type t = { fd : Unix.file_descr; ic : in_channel; mutable next_id : int }
+
+let connect ?(addr = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port))
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  { fd; ic = Unix.in_channel_of_descr fd; next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring t.fd data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let recv_line t =
+  match input_line t.ic with
+  | line -> Ok line
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error msg
+
+let ( let* ) = Result.bind
+
+let rpc t json =
+  send_line t (Json.to_string json);
+  let* line = recv_line t in
+  Protocol.decode_reply line
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Json.int id
+
+let plan ?params ?pb t graph ~procs =
+  let* _id, reply =
+    rpc t
+      (Protocol.encode_plan_request ~id:(fresh_id t) ?params ?pb graph ~procs)
+  in
+  match reply with
+  | Protocol.Plan_reply s -> Ok s
+  | Protocol.Error_reply { kind; message } ->
+      Error (Printf.sprintf "%s: %s" kind message)
+  | _ -> Error "unexpected reply to plan request"
+
+let stats t =
+  let* _id, reply = rpc t (Protocol.encode_stats_request ~id:(fresh_id t) ()) in
+  match reply with
+  | Protocol.Stats_reply s -> Ok s
+  | Protocol.Error_reply { kind; message } ->
+      Error (Printf.sprintf "%s: %s" kind message)
+  | _ -> Error "unexpected reply to stats request"
+
+let ping t =
+  let* _id, reply = rpc t (Protocol.encode_ping_request ~id:(fresh_id t) ()) in
+  match reply with
+  | Protocol.Pong -> Ok ()
+  | Protocol.Error_reply { kind; message } ->
+      Error (Printf.sprintf "%s: %s" kind message)
+  | _ -> Error "unexpected reply to ping"

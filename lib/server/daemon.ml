@@ -1,0 +1,299 @@
+type options = {
+  addr : string;
+  port : int;
+  workers : int;
+  backlog : int;
+  config : Core.Pipeline.config;
+  default_params : Costmodel.Params.t Lazy.t;
+}
+
+let default_options =
+  {
+    addr = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    backlog = 64;
+    config = Core.Pipeline.default_config;
+    default_params = lazy (Costmodel.Params.cm5 ());
+  }
+
+type t = {
+  options : options;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  cache : Core.Plan_cache.t;
+  obs : Obs.t;
+  stopping : bool Atomic.t;
+  served : int Atomic.t;
+  accepted : int Atomic.t;
+  queue : Unix.file_descr Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable domains : unit Domain.t list;
+}
+
+(* How often blocked reads/accepts re-check the stop flag. *)
+let poll_interval = 0.05
+
+(* ------------------------------------------------------------------ *)
+(* Buffered line reading over a raw fd with a receive timeout          *)
+(* ------------------------------------------------------------------ *)
+
+type read_result = Line of string | Eof | Timeout
+
+type reader = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  pending : Buffer.t;  (* bytes read but not yet terminated by '\n' *)
+  mutable lines : string list;  (* complete lines, oldest first *)
+}
+
+let make_reader fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO poll_interval;
+  { fd; chunk = Bytes.create 65536; pending = Buffer.create 256; lines = [] }
+
+let rec read_line r =
+  match r.lines with
+  | line :: rest ->
+      r.lines <- rest;
+      Line line
+  | [] -> (
+      match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+      | 0 ->
+          (* A partial trailing line is still a request: it will fail
+             JSON parsing and be answered before the close. *)
+          if Buffer.length r.pending > 0 then begin
+            let line = Buffer.contents r.pending in
+            Buffer.clear r.pending;
+            Line line
+          end
+          else Eof
+      | n ->
+          let rec split start =
+            match Bytes.index_from_opt r.chunk start '\n' with
+            | Some nl when nl < n ->
+                Buffer.add_subbytes r.pending r.chunk start (nl - start);
+                let line = Buffer.contents r.pending in
+                Buffer.clear r.pending;
+                r.lines <- r.lines @ [ line ];
+                split (nl + 1)
+            | _ -> Buffer.add_subbytes r.pending r.chunk start (n - start)
+          in
+          split 0;
+          read_line r
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Timeout
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line r
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Eof)
+
+let write_line fd line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  match go 0 with
+  | () -> true
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let plan_config t (req : Protocol.plan_request) =
+  let config = { t.options.config with obs = t.obs; cache = Some t.cache } in
+  match req.pb with
+  | None -> config
+  | Some pb ->
+      {
+        config with
+        psa_options = { config.psa_options with pb = Core.Psa.Fixed pb };
+      }
+
+let handle t ~id request =
+  match request with
+  | Protocol.Ping -> Protocol.pong_reply ~id
+  | Protocol.Stats -> Protocol.stats_reply ~id (Core.Plan_cache.stats t.cache)
+  | Protocol.Plan req -> (
+      let params =
+        match req.params with
+        | Some p -> p
+        | None -> Lazy.force t.options.default_params
+      in
+      let config = plan_config t req in
+      match
+        Core.Pipeline.plan ~config
+          (Core.Pipeline.request params req.graph ~procs:req.procs)
+      with
+      | Ok plan -> Protocol.plan_reply ~id plan
+      | Error e -> Protocol.pipeline_error_reply ~id e)
+
+let answer t line =
+  let reply =
+    match Protocol.decode_request line with
+    | Error (id, msg) -> Protocol.error_reply ~id ~kind:"protocol_error" msg
+    | Ok (id, request) -> (
+        match handle t ~id request with
+        | reply -> reply
+        | exception exn ->
+            (* A bug in a pipeline stage must not take the worker (and
+               with it every queued connection) down. *)
+            Protocol.error_reply ~id ~kind:"internal_error"
+              (Printexc.to_string exn))
+  in
+  Atomic.incr t.served;
+  Json.to_string reply
+
+let serve_connection t fd =
+  let obs = t.obs in
+  let reader = make_reader fd in
+  (* Once stopping, allow one extra poll interval of idleness before
+     closing: a request written just before the stop call may still be
+     in flight when the first timeout fires. *)
+  let grace = ref false in
+  let rec loop () =
+    match read_line reader with
+    | Eof -> ()
+    | Timeout ->
+        if Atomic.get t.stopping then begin
+          if not !grace then begin
+            grace := true;
+            loop ()
+          end
+        end
+        else loop ()
+    | Line line ->
+        let reply =
+          if Obs.enabled obs then
+            Obs.span obs ~cat:"server" "server.request" (fun () -> answer t line)
+          else answer t line
+        in
+        if write_line fd reply then loop ()
+  in
+  (match
+     if Obs.enabled obs then
+       Obs.span obs ~cat:"server" "server.connection" (fun () -> loop ())
+     else loop ()
+   with
+  | () -> ()
+  | exception _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Domains                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let worker_loop t =
+  let rec next () =
+    let job =
+      Mutex.protect t.lock (fun () ->
+          let rec wait () =
+            match Queue.take_opt t.queue with
+            | Some fd -> Some fd
+            | None ->
+                if Atomic.get t.stopping then None
+                else begin
+                  Condition.wait t.nonempty t.lock;
+                  wait ()
+                end
+          in
+          wait ())
+    in
+    match job with
+    | Some fd ->
+        serve_connection t fd;
+        next ()
+    | None -> ()
+  in
+  next ()
+
+let acceptor_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.listen_fd ] [] [] poll_interval with
+      | [ _ ], _, _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ ->
+              Atomic.incr t.accepted;
+              if Obs.enabled t.obs then
+                Obs.counter t.obs "server.requests"
+                  [ ("connections", float_of_int (Atomic.get t.accepted)) ];
+              Mutex.protect t.lock (fun () ->
+                  Queue.add fd t.queue;
+                  Condition.signal t.nonempty)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* Wake every idle worker so the pool can drain and exit. *)
+  Mutex.protect t.lock (fun () -> Condition.broadcast t.nonempty)
+
+let start ?(options = default_options) () =
+  if options.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      Unix.bind listen_fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string options.addr, options.port));
+      Unix.listen listen_fd options.backlog;
+      let bound_port =
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> assert false
+      in
+      let cache =
+        match options.config.cache with
+        | Some c -> c
+        | None -> Core.Plan_cache.create ()
+      in
+      {
+        options;
+        listen_fd;
+        bound_port;
+        cache;
+        obs = Obs.Sink.locking options.config.obs;
+        stopping = Atomic.make false;
+        served = Atomic.make 0;
+        accepted = Atomic.make 0;
+        queue = Queue.create ();
+        lock = Mutex.create ();
+        nonempty = Condition.create ();
+        domains = [];
+      }
+    with exn ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise exn
+  in
+  let acceptor = Domain.spawn (fun () -> acceptor_loop t) in
+  let workers =
+    List.init options.workers (fun _ -> Domain.spawn (fun () -> worker_loop t))
+  in
+  t.domains <- acceptor :: workers;
+  t
+
+let port t = t.bound_port
+
+let cache t = t.cache
+
+let stats t = Core.Plan_cache.stats t.cache
+
+let requests_served t = Atomic.get t.served
+
+let connections_accepted t = Atomic.get t.accepted
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Mutex.protect t.lock (fun () -> Condition.broadcast t.nonempty);
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    Obs.flush t.obs
+  end

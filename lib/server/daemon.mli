@@ -1,0 +1,68 @@
+(** The plan server: PARADIGM's planner as a long-running concurrent
+    service.
+
+    A server owns a TCP listening socket and a fixed pool of worker
+    domains (OCaml 5 [Domain]s).  An acceptor domain hands accepted
+    connections to the pool through a bounded-latency queue; each
+    worker speaks the newline-delimited JSON protocol ({!Protocol})
+    for the lifetime of its connection, answering every request line
+    with exactly one reply line.  Malformed input produces an
+    [Error_reply], never a crash or a dropped connection.
+
+    All workers share one {!Core.Plan_cache} through the
+    {!Core.Pipeline.config} they plan with, so the compiled-tape and
+    warm-start caches warm up across clients: the steady state for a
+    repetitive request mix is a tape hit plus a warm-start accept
+    (solver answers in two gradient probes — see
+    {!Convex.Solver.options.accept_warm_start}).
+
+    {!stop} is graceful: the listener closes immediately, workers
+    finish the request they are executing and any further requests
+    already readable on their connection, idle connections close
+    within the poll interval, and [stop] returns only after every
+    domain has joined.
+
+    Telemetry: the configured sink is wrapped in {!Obs.Sink.locking}
+    and receives ["server.connection"] spans, ["server.request"]
+    spans (per request line, covering decode → plan → reply) and a
+    ["server.requests"] counter, in addition to the pipeline's own
+    spans and cache counters. *)
+
+type options = {
+  addr : string;  (** listen address, default ["127.0.0.1"] *)
+  port : int;  (** TCP port; [0] picks an ephemeral port (see {!port}) *)
+  workers : int;  (** worker-domain pool size *)
+  backlog : int;  (** listen backlog *)
+  config : Core.Pipeline.config;
+      (** base planning configuration; if it carries no cache the
+          server installs a fresh shared {!Core.Plan_cache} *)
+  default_params : Costmodel.Params.t Lazy.t;
+      (** cost model used when a request sends no ["params"] *)
+}
+
+val default_options : options
+(** Loopback, ephemeral port, 4 workers, default pipeline config (a
+    fresh cache is installed), CM-5 paper constants. *)
+
+type t
+
+val start : ?options:options -> unit -> t
+(** Bind, listen and spawn the acceptor and worker domains.  Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The bound TCP port — the actual one when [options.port = 0]. *)
+
+val cache : t -> Core.Plan_cache.t
+(** The shared plan cache (the configured one, or the installed
+    fresh one). *)
+
+val stats : t -> Core.Plan_cache.stats
+
+val requests_served : t -> int
+(** Total request lines answered (including error replies). *)
+
+val connections_accepted : t -> int
+
+val stop : t -> unit
+(** Graceful shutdown as described above.  Idempotent. *)

@@ -1,0 +1,311 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf x =
+  if Float.is_integer x && Float.abs x <= 9.007199254740992e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+  else if Float.is_finite x then
+    Buffer.add_string buf (Printf.sprintf "%.17g" x)
+  else
+    (* JSON has no infinities/NaN; null is the conventional stand-in. *)
+    Buffer.add_string buf "null"
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x -> add_num buf x
+  | Str s -> escape buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          add buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf (fun msg -> raise (Bad (!pos, msg))) fmt
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %c, got %c" c c'
+    | None -> fail "expected %c, got end of input" c
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail "bad literal"
+  in
+  let number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        advance ()
+      done;
+      if !pos = d0 then fail "malformed number"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some x -> x
+    | None -> fail "malformed number"
+  in
+  let string_ () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "dangling escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; advance ()
+               | '\\' -> Buffer.add_char buf '\\'; advance ()
+               | '/' -> Buffer.add_char buf '/'; advance ()
+               | 'n' -> Buffer.add_char buf '\n'; advance ()
+               | 't' -> Buffer.add_char buf '\t'; advance ()
+               | 'r' -> Buffer.add_char buf '\r'; advance ()
+               | 'b' -> Buffer.add_char buf '\b'; advance ()
+               | 'f' -> Buffer.add_char buf '\012'; advance ()
+               | 'u' ->
+                   advance ();
+                   if !pos + 4 > n then fail "bad \\u escape";
+                   let hex = String.sub s !pos 4 in
+                   (match int_of_string_opt ("0x" ^ hex) with
+                   | None -> fail "bad \\u escape"
+                   | Some code ->
+                       pos := !pos + 4;
+                       (* Encode the code point as UTF-8; surrogate
+                          pairs outside the BMP are not needed by this
+                          protocol and decode as two replacement-range
+                          sequences. *)
+                       if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                       else if code < 0x800 then begin
+                         Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                         Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                       end
+                       else begin
+                         Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                         Buffer.add_char buf
+                           (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                         Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                       end)
+               | c -> fail "bad escape \\%c" c);
+            go ()
+        | c when Char.code c < 0x20 -> fail "raw control character in string"
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (string_ ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let entry () =
+            skip_ws ();
+            let k = string_ () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            (k, v)
+          in
+          let fields = ref [ entry () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := entry () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> Num (number ())
+    | Some c -> fail "unexpected character %C" c
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing characters after value";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let int i = Num (float_of_int i)
+
+let float_array a = List (Array.to_list (Array.map (fun x -> Num x) a))
+
+let int_array a = List (Array.to_list (Array.map (fun i -> int i) a))
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | List _ -> "array"
+  | Obj _ -> "object"
+
+let field name v =
+  match v with
+  | Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing field %S" name))
+  | other -> Error (Printf.sprintf "expected an object, got %s" (type_name other))
+
+let to_num = function
+  | Num x -> Ok x
+  | other -> Error (Printf.sprintf "expected a number, got %s" (type_name other))
+
+let to_int = function
+  | Num x when Float.is_integer x && Float.abs x <= 1e15 ->
+      Ok (int_of_float x)
+  | Num _ -> Error "expected an integer"
+  | other -> Error (Printf.sprintf "expected an integer, got %s" (type_name other))
+
+let to_str = function
+  | Str s -> Ok s
+  | other -> Error (Printf.sprintf "expected a string, got %s" (type_name other))
+
+let to_list = function
+  | List xs -> Ok xs
+  | other -> Error (Printf.sprintf "expected an array, got %s" (type_name other))
+
+let ( let* ) = Result.bind
+
+let in_field name r =
+  Result.map_error (fun e -> Printf.sprintf "field %S: %s" name e) r
+
+let int_field name v =
+  let* f = field name v in
+  in_field name (to_int f)
+
+let num_field name v =
+  let* f = field name v in
+  in_field name (to_num f)
+
+let str_field name v =
+  let* f = field name v in
+  in_field name (to_str f)

@@ -1,0 +1,121 @@
+(** Wire protocol of the plan server: newline-delimited JSON.
+
+    Each request is one JSON object on one line; the server answers
+    with exactly one JSON object line per request, in order.  Requests
+    carry an optional ["id"] (any JSON value) that is echoed verbatim
+    in the reply, so pipelining clients can match answers to
+    questions.
+
+    {2 Requests}
+
+    {v
+      {"op":"plan", "id":1, "mdg":"mdg\nnode 0 mul:64 \"m\"\n...",
+       "procs":64,
+       "params":{"transfer":{"t_ss":...,"t_ps":...,"t_sr":...,
+                             "t_pr":...,"t_n":...},
+                 "processing":[{"kernel":"mul:64",
+                                "alpha":0.013,"tau":0.58}, ...]},
+       "options":{"pb":8}}
+      {"op":"stats","id":2}
+      {"op":"ping","id":3}
+    v}
+
+    ["op"] defaults to ["plan"].  ["mdg"] is the {!Mdg.Serialize} line
+    format embedded as a JSON string; ["params"] is optional (the
+    server's calibrated default applies) as is ["options"].
+
+    {2 Replies}
+
+    A plan reply ([status = "ok"]) carries the plan summary — Φ, the
+    schedule makespan, per-node allocations, solver convergence and
+    the cache outcome for this request:
+
+    {v
+      {"id":1,"status":"ok","phi":0.81,"t_psa":0.93,"makespan":0.93,
+       "pb":8,"procs":64,"nodes":25,
+       "alloc":[...],"rounded_alloc":[...],
+       "solver":{"iterations":312,"stages":5,"converged":true},
+       "cache":{"tape":"hit","warm":"hit","solve_skipped":true}}
+    v}
+
+    Failures — malformed JSON, an invalid MDG, or any typed
+    {!Core.Pipeline.error} — answer [status = "error"] with a
+    machine-readable ["kind"] (the {!Core.Pipeline.error_kind} tags
+    plus ["protocol_error"]) and a human-readable ["message"].  A
+    malformed line never terminates the connection. *)
+
+(** {2 Requests} *)
+
+type plan_request = {
+  graph : Mdg.Graph.t;
+  procs : int;
+  params : Costmodel.Params.t option;  (** [None]: server default *)
+  pb : int option;  (** processor-bound override (power of two) *)
+}
+
+type request =
+  | Plan of plan_request
+  | Stats  (** cache statistics snapshot *)
+  | Ping
+
+val decode_request : string -> (Json.t * request, Json.t * string) result
+(** Parse one request line.  Both constructors carry the request id to
+    echo ([Json.Null] when absent or unrecoverable); [Error] carries
+    the protocol-error message. *)
+
+val encode_plan_request :
+  ?id:Json.t ->
+  ?params:Costmodel.Params.t ->
+  ?pb:int ->
+  Mdg.Graph.t ->
+  procs:int ->
+  Json.t
+(** Client-side encoder for a plan request. *)
+
+val encode_stats_request : ?id:Json.t -> unit -> Json.t
+
+val encode_ping_request : ?id:Json.t -> unit -> Json.t
+
+(** {2 Cost parameters} *)
+
+val params_to_json : Costmodel.Params.t -> Json.t
+
+val params_of_json : Json.t -> (Costmodel.Params.t, string) result
+
+(** {2 Replies} *)
+
+type plan_summary = {
+  phi : float;
+  t_psa : float;
+  makespan : float;
+  pb : int;
+  procs : int;
+  nodes : int;
+  alloc : float array;
+  rounded_alloc : int array;
+  iterations : int;
+  stages : int;
+  converged : bool;
+  tape_cache : string;  (** ["hit"] / ["miss"] / ["off"] *)
+  warm_cache : string;  (** plus ["shape_hit"] *)
+  solve_skipped : bool;
+}
+
+type reply =
+  | Plan_reply of plan_summary
+  | Stats_reply of Core.Plan_cache.stats
+  | Pong
+  | Error_reply of { kind : string; message : string }
+
+val plan_reply : id:Json.t -> Core.Pipeline.plan -> Json.t
+
+val stats_reply : id:Json.t -> Core.Plan_cache.stats -> Json.t
+
+val pong_reply : id:Json.t -> Json.t
+
+val error_reply : id:Json.t -> kind:string -> string -> Json.t
+
+val pipeline_error_reply : id:Json.t -> Core.Pipeline.error -> Json.t
+
+val decode_reply : string -> (Json.t * reply, string) result
+(** Client-side decoder: the echoed id plus the typed reply. *)

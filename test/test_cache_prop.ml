@@ -1,0 +1,143 @@
+(* Properties of the plan caches (ISSUE 6 satellite):
+
+   - warm-serving soundness: planning a perturbed-constant variant of a
+     cached shape (a warm-start shape hit) never yields a Phi worse
+     than the cold solve of the same problem beyond a 1e-6 relative
+     guard band;
+   - key soundness: structurally distinct random MDGs never collide on
+     [Mdg.Graph.structural_hash]. *)
+
+module G = Mdg.Graph
+module P = Core.Pipeline
+
+let base_params () = Costmodel.Params.make ~transfer:Costmodel.Params.cm5_transfer
+
+(* Same-machine re-calibration: scale the per-byte transfer costs,
+   keep the processing table.  Distinct scale => distinct fingerprint,
+   same structural hash => the cached-plan path takes a shape hit. *)
+let perturbed ~scale params =
+  let tf = Costmodel.Params.transfer params in
+  let p =
+    Costmodel.Params.make
+      ~transfer:{ tf with t_ps = tf.t_ps *. scale; t_pr = tf.t_pr *. scale }
+  in
+  List.iter
+    (fun kernel ->
+      Costmodel.Params.set_processing p kernel
+        (Costmodel.Params.processing params kernel))
+    (Costmodel.Params.known_kernels params);
+  p
+
+let plan_phi ?config req =
+  match P.plan ?config req with
+  | Ok p -> p
+  | Error e -> QCheck.Test.fail_reportf "plan failed: %s" (P.error_to_string e)
+
+(* Cold solve vs. the warm-start shape-hit path on the same perturbed
+   problem.  The warm path may legitimately find a *better* point (it
+   starts at a near-optimum); it must never be worse than the cold
+   solve beyond the guard band. *)
+let prop_warm_hit_phi_sound =
+  QCheck.Test.make ~name:"warm shape hit: Phi within 1e-6 of cold solve"
+    ~count:15
+    QCheck.(pair (int_range 0 10_000) (float_range 0.9 1.1))
+    (fun (seed, scale) ->
+      QCheck.assume (Float.abs (scale -. 1.0) > 1e-6);
+      let g =
+        Kernels.Workloads.random_layered ~seed
+          { Kernels.Workloads.default_shape with layers = 3; width = 3 }
+      in
+      let params = base_params () in
+      let params' = perturbed ~scale params in
+      let procs = 16 in
+      let cold = plan_phi (P.request params' g ~procs) in
+      let cache = Core.Plan_cache.create () in
+      let config = P.(default_config |> with_cache cache) in
+      (* Seed the cache with the base-constant optimum... *)
+      ignore (plan_phi ~config (P.request params g ~procs));
+      (* ...then plan the perturbed variant through it. *)
+      let warm = plan_phi ~config (P.request params' g ~procs) in
+      if warm.cache.warm <> P.Shape_hit then
+        QCheck.Test.fail_reportf "expected a shape hit, got %s"
+          (match warm.cache.warm with
+          | P.Hit -> "exact hit"
+          | P.Miss -> "miss"
+          | P.Off -> "off"
+          | P.Shape_hit -> "shape hit");
+      let phi_cold = P.phi cold and phi_warm = P.phi warm in
+      if phi_warm > phi_cold +. (1e-6 *. (1.0 +. Float.abs phi_cold)) then
+        QCheck.Test.fail_reportf
+          "warm Phi %.12g worse than cold Phi %.12g (seed %d, scale %g)"
+          phi_warm phi_cold seed scale;
+      true)
+
+(* An exact-key hit returns the stored result: Phi must be identical
+   bit-for-bit to the first solve's. *)
+let prop_exact_hit_phi_identical =
+  QCheck.Test.make ~name:"warm exact hit: Phi identical to first solve"
+    ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g =
+        Kernels.Workloads.random_layered ~seed
+          { Kernels.Workloads.default_shape with layers = 3; width = 3 }
+      in
+      let params = base_params () in
+      let cache = Core.Plan_cache.create () in
+      let config = P.(default_config |> with_cache cache) in
+      let first = plan_phi ~config (P.request params g ~procs:16) in
+      let again = plan_phi ~config (P.request params g ~procs:16) in
+      again.cache.warm = P.Hit
+      && again.cache.solve_skipped
+      && P.phi again = P.phi first)
+
+(* Structural signature over exactly the data the hash consumes, so a
+   hash collision between graphs with different signatures is a true
+   collision rather than a structurally-equal pair. *)
+let signature g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int (G.num_nodes g));
+  Array.iter
+    (fun (nd : G.node) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (Format.asprintf "%a" G.pp_kernel nd.kernel))
+    (G.nodes g);
+  List.iter
+    (fun (e : G.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "|%d>%d:%h:%s" e.src e.dst e.bytes
+           (match e.kind with Oned -> "1" | Twod -> "2")))
+    (G.edges g);
+  Buffer.contents buf
+
+let test_no_hash_collisions () =
+  let shapes seed =
+    (* Vary the shape with the seed so the population is not one
+       layered family. *)
+    {
+      Kernels.Workloads.default_shape with
+      layers = 1 + (seed mod 5);
+      width = 1 + (seed mod 4);
+      edge_density = 0.2 +. (0.15 *. float_of_int (seed mod 5));
+    }
+  in
+  let seen = Hashtbl.create (2 * 10_000) in
+  let collisions = ref 0 in
+  for seed = 0 to 9_999 do
+    let g = Kernels.Workloads.random_layered ~seed (shapes seed) in
+    let h = G.structural_hash g in
+    let s = signature g in
+    match Hashtbl.find_opt seen h with
+    | None -> Hashtbl.add seen h s
+    | Some s' -> if not (String.equal s s') then incr collisions
+  done;
+  Alcotest.(check int) "structural_hash collisions in 10k random MDGs" 0
+    !collisions
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_warm_hit_phi_sound;
+    QCheck_alcotest.to_alcotest prop_exact_hit_phi_identical;
+    Alcotest.test_case "no structural_hash collisions (10k graphs)" `Slow
+      test_no_hash_collisions;
+  ]

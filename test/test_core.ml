@@ -452,7 +452,7 @@ let test_codegen_sim_matches_prediction_on_ideal () =
      is message/compute overlap the model does not credit). *)
   let g = transfer_graph () in
   let params = synth_params () in
-  let plan = Pipeline.plan params g ~procs:8 in
+  let plan = Pipeline.plan_exn params g ~procs:8 in
   let gt = Machine.Ground_truth.ideal () in
   let sim = Pipeline.simulate gt plan in
   let rel =
@@ -466,7 +466,7 @@ let test_codegen_sim_matches_prediction_on_ideal () =
 let test_codegen_mpmd_has_expected_messages () =
   let g = transfer_graph () in
   let params = synth_params () in
-  let plan = Pipeline.plan params g ~procs:4 in
+  let plan = Pipeline.plan_exn params g ~procs:4 in
   let gt = Machine.Ground_truth.ideal () in
   let prog = Codegen.mpmd gt plan.graph (Pipeline.schedule plan) in
   (* Every Send has a matching Recv. *)
@@ -498,7 +498,7 @@ let test_pipeline_mpmd_beats_spmd_on_complex_mm () =
   in
   List.iter
     (fun procs ->
-      let c = Pipeline.compare_mpmd_spmd gt params g ~procs in
+      let c = Pipeline.compare_mpmd_spmd_exn gt params g ~procs in
       Alcotest.(check bool)
         (Printf.sprintf "MPMD wins at p=%d" procs)
         true (c.mpmd_speedup > c.spmd_speedup))
@@ -512,7 +512,7 @@ let test_pipeline_serial_time () =
 let test_gantt_renders () =
   let g = transfer_graph () in
   let params = synth_params () in
-  let plan = Pipeline.plan params g ~procs:4 in
+  let plan = Pipeline.plan_exn params g ~procs:4 in
   let s = Gantt.of_schedule plan.graph (Pipeline.schedule plan) in
   Alcotest.(check bool) "has rows" true (String.length s > 100);
   let table =

@@ -93,7 +93,7 @@ let test_schedule_io_roundtrip () =
   let params = P.cm5 () in
   Costmodel.Params.set_processing params (G.Matrix_init 64)
     { alpha = 0.05; tau = 1.6e-3 };
-  let plan = Core.Pipeline.plan params g ~procs:8 in
+  let plan = Core.Pipeline.plan_exn params g ~procs:8 in
   let s = Core.Pipeline.schedule plan in
   let s' = Core.Schedule_io.of_string (Core.Schedule_io.to_string s) in
   Alcotest.(check bool) "roundtrip" true (schedules_equal s s')
@@ -176,7 +176,7 @@ let test_static_params_usable_end_to_end () =
       (Kernels.Complex_mm.kernels ~n:64)
   in
   let run params =
-    (Core.Pipeline.simulate gt (Core.Pipeline.plan params g ~procs:32)).finish_time
+    (Core.Pipeline.simulate gt (Core.Pipeline.plan_exn params g ~procs:32)).finish_time
   in
   let t_static = run static_params and t_fitted = run fitted_params in
   Alcotest.(check bool)

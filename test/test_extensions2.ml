@@ -71,7 +71,7 @@ let test_recursive_schedulable () =
       |> with_solver_options
            { Convex.Solver.default_options with max_iters = 40; mu_final = 1e-3 })
   in
-  let plan = Core.Pipeline.plan ~config params g ~procs:64 in
+  let plan = Core.Pipeline.plan_exn ~config params g ~procs:64 in
   (match Core.Schedule.validate params plan.graph plan.psa.schedule with
   | Ok () -> ()
   | Error msgs -> Alcotest.fail (String.concat "; " msgs));

@@ -191,7 +191,7 @@ let test_lower_end_to_end () =
   let params, _, _ =
     Machine.Measure.calibrate gt ~procs:[ 1; 2; 4; 8; 16 ] (Lower.kernels p)
   in
-  let plan = Core.Pipeline.plan params g ~procs:16 in
+  let plan = Core.Pipeline.plan_exn params g ~procs:16 in
   let sim = Core.Pipeline.simulate gt plan in
   Alcotest.(check bool) "simulation completes" true (sim.finish_time > 0.0);
   Alcotest.(check bool) "prediction within 30%" true

@@ -62,7 +62,7 @@ let prop_sim_bounded_by_prediction_ideal =
       in
       let g = Kernels.Workloads.random_layered ~seed shape in
       let params = synth_params () in
-      let plan = Core.Pipeline.plan params g ~procs:16 in
+      let plan = Core.Pipeline.plan_exn params g ~procs:16 in
       let sim = Core.Pipeline.simulate gt_ideal plan in
       sim.finish_time <= (Core.Pipeline.predicted_time plan *. 1.05) +. 1e-9
       && sim.finish_time > 0.0)
@@ -78,7 +78,7 @@ let prop_all_messages_delivered =
       in
       let g = Kernels.Workloads.random_layered ~seed shape in
       let params = synth_params () in
-      let plan = Core.Pipeline.plan params g ~procs:8 in
+      let plan = Core.Pipeline.plan_exn params g ~procs:8 in
       let prog = Core.Codegen.mpmd gt_ideal plan.graph (Core.Pipeline.schedule plan) in
       let sim = Machine.Sim.run gt_ideal prog in
       sim.messages_delivered = List.length (Machine.Program.sends prog))
@@ -88,7 +88,7 @@ let prop_all_messages_delivered =
 let test_schedule_io_preserves_execution () =
   let g, _ = Kernels.Complex_mm.graph ~n:64 () in
   let params = calibrated (Kernels.Complex_mm.kernels ~n:64) in
-  let plan = Core.Pipeline.plan params g ~procs:16 in
+  let plan = Core.Pipeline.plan_exn params g ~procs:16 in
   let sched = Core.Pipeline.schedule plan in
   let sched' = Core.Schedule_io.of_string (Core.Schedule_io.to_string sched) in
   let t1 = (Machine.Sim.run gt_cm5 (Core.Codegen.mpmd gt_cm5 plan.graph sched)).finish_time in
@@ -104,8 +104,8 @@ let test_paper_shape_regressions () =
   in
   List.iter
     (fun (g, label) ->
-      let c64 = Core.Pipeline.compare_mpmd_spmd gt_cm5 params g ~procs:64 in
-      let c16 = Core.Pipeline.compare_mpmd_spmd gt_cm5 params g ~procs:16 in
+      let c64 = Core.Pipeline.compare_mpmd_spmd_exn gt_cm5 params g ~procs:64 in
+      let c16 = Core.Pipeline.compare_mpmd_spmd_exn gt_cm5 params g ~procs:16 in
       (* MPMD wins, and its advantage grows with machine size. *)
       Alcotest.(check bool) (label ^ ": MPMD beats SPMD at 64") true
         (c64.mpmd_speedup > c64.spmd_speedup);
@@ -135,7 +135,7 @@ let test_theorem3_on_paper_workloads () =
     (fun g ->
       List.iter
         (fun procs ->
-          let plan = Core.Pipeline.plan params g ~procs in
+          let plan = Core.Pipeline.plan_exn params g ~procs in
           Alcotest.(check bool)
             (Printf.sprintf "theorem 3 at p=%d" procs)
             true
@@ -154,7 +154,7 @@ let test_theorem3_on_paper_workloads () =
 let test_busy_time_conservation () =
   let g, _ = Kernels.Complex_mm.graph ~n:64 () in
   let params = calibrated (Kernels.Complex_mm.kernels ~n:64) in
-  let plan = Core.Pipeline.plan params g ~procs:16 in
+  let plan = Core.Pipeline.plan_exn params g ~procs:16 in
   let prog = Core.Codegen.mpmd gt_cm5 plan.graph (Core.Pipeline.schedule plan) in
   let sim = Machine.Sim.run gt_cm5 prog in
   let compute_busy =

@@ -22,5 +22,7 @@ let () =
       ("interp", Test_interp.suite);
       ("obs", Test_obs.suite);
       ("expand", Test_expand.suite);
+      ("server", Test_server.suite);
+      ("cache-prop", Test_cache_prop.suite);
       ("integration", Test_integration.suite);
     ]

@@ -362,7 +362,7 @@ let test_traced_strassen2_pipeline () =
            { Convex.Solver.default_options with max_iters = 40; mu_final = 1e-3 }
       |> with_obs (Obs.Recorder.sink recorder))
   in
-  let plan = Core.Pipeline.plan ~config params g ~procs:16 in
+  let plan = Core.Pipeline.plan_exn ~config params g ~procs:16 in
   (* The traced run must still produce a valid schedule: telemetry is
      observation, never interference. *)
   (match Core.Schedule.validate params plan.graph plan.psa.schedule with
