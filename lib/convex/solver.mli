@@ -17,14 +17,21 @@
     implementation remains available as the [Reference] engine for
     cross-checking.
 
-    On the tape engine each smoothed stage is finished by a projected
-    Newton-CG refinement ({!options.second_order}, on by default):
-    after a short FISTA burst, conjugate gradients over tape
-    Hessian-vector products ({!Tape.eval_hvp}) solve the Newton system
-    on the free (non-bound) variables, cutting the iteration count at
-    tight smoothing temperatures from hundreds to a handful.  The
-    [Reference] engine has no second-order oracle and keeps the pure
-    first-order behaviour.
+    On the tape engine each stage — including the exact (mu = 0)
+    polish — is finished by a projected Newton-CG refinement
+    ({!options.second_order}, on by default): after a short FISTA
+    burst, Jacobi-preconditioned conjugate gradients over masked tape
+    Hessian-vector products ({!Tape.hvp_masked}, swept over the
+    instructions live under the current free set only) solve the
+    Newton system on the free (non-bound) variables, cutting the
+    iteration count at tight smoothing temperatures from hundreds to a
+    handful.  At mu = 0 the masked HVP is the generalised Hessian of
+    the active piece, and the projected-Newton polish is what pushes a
+    stalled first-order anneal the last ~1e-3 to the optimum.  Large
+    tapes can additionally run every full-tape sweep on several OCaml
+    domains ({!options.domains}), bit-identically to the serial sweep.
+    The [Reference] engine has no second-order oracle and keeps the
+    pure first-order behaviour.
 
     Supplying a starting point [x0] warm-starts the solve; when an
     Armijo-probed gradient step at the tightest smoothing temperature
@@ -70,6 +77,18 @@ type options = {
           optimum, so callers needing tighter guarantees (the plan
           cache among them) should reuse stored results for exact
           duplicates instead. *)
+  precondition : bool;
+      (** Jacobi-precondition the Newton-CG inner solves with the
+          tape's Gauss–Newton Hessian diagonal ({!Tape.hess_diag},
+          clamped by {!Precond.jacobi_clamp}).  On by default; with it
+          off the identity diagonal reproduces plain CG bit for bit. *)
+  domains : int;
+      (** domains for the parallel level-scheduled tape sweeps
+          ({!Tape.eval_pool} and friends) on tapes of at least ~1000
+          slots.  1 = serial (the sweeps are then exactly the serial
+          ones); 0 = one per recommended core; parallel results are
+          bit-identical to serial either way.  Defaults to the
+          [PARADIGM_DOMAINS] environment variable, else 1. *)
 }
 
 val default_options : options
@@ -97,6 +116,12 @@ val compile : ?obs:Obs.t -> Expr.t -> compiled
     [obs] sink the compilation is wrapped in a ["solver.compile"] span
     and emits a ["solver.tape"] counter sampling the DAG and tape
     sizes ([dag_nodes], [slots], [term_entries], [children], [vars]). *)
+
+val compiled_branches : compiled -> float array
+(** {!Tape.root_branches} of the compiled tape: the root max's branch
+    values as left by the last {!eval_compiled} — call that first at
+    the point of interest.  Empty when the objective's root is not a
+    max. *)
 
 val eval_compiled : ?mu:float -> compiled -> Numeric.Vec.t -> float
 (** Evaluate a compiled objective; equals {!Expr.eval} on the original

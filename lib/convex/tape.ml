@@ -18,6 +18,27 @@ let op_max = 3
 
 let op_scale = 4
 
+(* Level schedule and transpose of the instruction array, built once
+   per tape on first use (parallel sweeps and masked HVPs share it).
+   Slots of level l occupy level_slots.[level_off.(l), level_off.(l+1))
+   in ascending slot order; slots within a level are mutually
+   independent.  [pin_*] is the transpose: the incoming (parent) edges
+   of every slot, ordered by descending parent so a gather reproduces
+   the serial reverse sweep's per-cell accumulation order exactly.
+   [vin_*] is the same transpose for the (term slot, entry) pairs
+   feeding each variable's gradient component. *)
+type plan = {
+  level_off : int array;  (* n_levels + 1 *)
+  level_slots : int array;  (* num_slots, grouped by level *)
+  fan : bool array;  (* per level: wide enough to split across domains *)
+  pin_off : int array;  (* num_slots + 1 *)
+  par_slot : int array;  (* parent slot, descending per child *)
+  par_edge : int array;  (* index into [child]/[w], or -1 for scale *)
+  vin_off : int array;  (* n_vars + 1 *)
+  vterm_slot : int array;  (* term slot, descending per variable *)
+  vterm_entry : int array;  (* index into [term_var]/[term_expt] *)
+}
+
 type t = {
   n_vars : int;
   root : int;
@@ -28,6 +49,7 @@ type t = {
   term_var : int array;
   term_expt : float array;
   child : int array;
+  plan : plan option Atomic.t;  (* built lazily; Atomic for publication *)
 }
 
 type workspace = {
@@ -38,29 +60,150 @@ type workspace = {
   vd : float array;  (* per-slot value tangents (HVP forward sweep) *)
   adjd : float array;  (* per-slot adjoint tangents (HVP reverse sweep) *)
   wd : float array;  (* softmax weight tangents, parallel to [child] *)
+  sel : int array;  (* per-slot first-maximising branch (maxima only) *)
+  (* Masked-HVP state, valid from [hvp_mask] until the workspace's next
+     forward sweep (see the .mli invariants). *)
+  mutable mask_mu : float;
+  mutable mask_valid : bool;  (* sets below match [mask_free]/[mask_mu] *)
+  mask_free : bool array;  (* free set the mask was built for *)
+  mutable n_active : int;
+  active : int array;  (* slots with a possibly nonzero value tangent *)
+  mutable n_union : int;
+  union : int array;  (* [active] plus adjoint-tangent-reachable slots *)
+  flags : Bytes.t;  (* scratch: bit0 = active, bit1 = adjoint-tangent *)
+  mutable bar : Numeric.Domain_pool.barrier option;  (* parallel sweeps *)
+  mutable bar_parties : int;
 }
 
-(* Compile-time instruction forms, collected in reverse order and
-   flattened into the shared arrays afterwards. *)
-type instr =
-  | IConst of float
-  | ITerm of float * (int * float) array
-  | ISum of float * int array
-  | IMax of int array
-  | IScale of float * int
+(* [compile] writes slots and their term/child segments straight into
+   growable flat arrays as the emit walk returns from each node — the
+   walk is children-first, so a slot's segment entries land just below
+   the slot's own index and segments stay contiguous.  (An earlier
+   version collected boxed per-slot instructions in a list and
+   assembled the arrays in a second pass; on deep-MDG tapes the list
+   cells and variant boxes dominated compile time.)
+
+   A positively scaled max is fused into the max slot itself
+   ([f·max v = f·lse_mu v], applied after the log-sum-exp), saving the
+   scale slot. *)
+
+(* Open-addressing memo keyed by {!Expr.id} for [compile].  The
+   allocation objectives of deep MDGs reach hundreds of thousands of
+   DAG nodes and each node/edge visit is a memo probe, so stdlib
+   [Hashtbl]'s boxed bucket chains dominate compile time; flat parallel
+   arrays with linear probing keep every probe inside a few cache
+   lines.  One entry carries both memoised facts about a node — its
+   constant-folded value (if any) and its emitted slot (if any). *)
+module Memo = struct
+  type t = {
+    mutable key : int array;  (* Expr ids; 0 = empty (ids start at 1) *)
+    mutable cstate : Bytes.t;  (* '\000' unknown, '\001' const, '\002' not *)
+    mutable cval : float array;  (* constant value when cstate = '\001' *)
+    mutable slot : int array;  (* emitted slot, -1 = none yet *)
+    mutable uses : int array;  (* incoming DAG edges (parent references) *)
+    mutable seen : Bytes.t;  (* visited by the use-count walk *)
+    mutable mask : int;
+    mutable count : int;
+  }
+
+  let create () =
+    let cap = 1 lsl 16 in
+    { key = Array.make cap 0; cstate = Bytes.make cap '\000';
+      cval = Array.make cap 0.0; slot = Array.make cap (-1);
+      uses = Array.make cap 0; seen = Bytes.make cap '\000';
+      mask = cap - 1; count = 0 }
+
+  (* Multiplicative scramble: sequential ids would otherwise cluster. *)
+  let hash k = (k * 0x9E3779B1) land max_int
+
+  let probe t k =
+    let mask = t.mask and key = t.key in
+    let i = ref (hash k land mask) in
+    while
+      let k' = Array.unsafe_get key !i in
+      k' <> 0 && k' <> k
+    do
+      i := (!i + 1) land mask
+    done;
+    !i
+
+  let grow t =
+    let old_key = t.key and old_cstate = t.cstate in
+    let old_cval = t.cval and old_slot = t.slot in
+    let old_uses = t.uses and old_seen = t.seen in
+    let cap = 2 * (t.mask + 1) in
+    t.key <- Array.make cap 0;
+    t.cstate <- Bytes.make cap '\000';
+    t.cval <- Array.make cap 0.0;
+    t.slot <- Array.make cap (-1);
+    t.uses <- Array.make cap 0;
+    t.seen <- Bytes.make cap '\000';
+    t.mask <- cap - 1;
+    Array.iteri
+      (fun i k ->
+        if k <> 0 then begin
+          let j = probe t k in
+          t.key.(j) <- k;
+          Bytes.set t.cstate j (Bytes.get old_cstate i);
+          t.cval.(j) <- old_cval.(i);
+          t.slot.(j) <- old_slot.(i);
+          t.uses.(j) <- old_uses.(i);
+          Bytes.set t.seen j (Bytes.get old_seen i)
+        end)
+      old_key
+
+  (* Index of [k]'s entry, inserting an empty one if absent.  The
+     returned index is invalidated by any later insertion (the table
+     may grow), so callers re-probe after recursing. *)
+  let idx t k =
+    if 2 * t.count >= t.mask + 1 then grow t;
+    let i = probe t k in
+    if t.key.(i) = 0 then begin
+      t.key.(i) <- k;
+      t.count <- t.count + 1
+    end;
+    i
+end
 
 let compile root_expr =
+  let memo = Memo.create () in
+  (* Use counts (incoming DAG edges per node), for the sum-flattening
+     below: a sum referenced exactly once can be spliced into its
+     (sum) parent instead of costing a slot and a child edge of its
+     own.  The builders upstream produce long chains of single-use
+     binary sums (critical-path recurrences accumulate [add] by
+     [add]), so this shrinks deep-MDG tapes considerably. *)
+  let rec count_uses e =
+    let i = Memo.idx memo (Expr.id e) in
+    if Bytes.get memo.Memo.seen i = '\000' then begin
+      Bytes.set memo.Memo.seen i '\001';
+      let bump e' =
+        let j = Memo.idx memo (Expr.id e') in
+        memo.Memo.uses.(j) <- memo.Memo.uses.(j) + 1;
+        count_uses e'
+      in
+      match Expr.view e with
+      | Expr.V_const _ | Expr.V_term _ -> ()
+      | Expr.V_scale (_, e') -> bump e'
+      | Expr.V_sum es | Expr.V_max es -> Array.iter bump es
+    end
+  in
+  count_uses root_expr;
+  let uses_of e = memo.Memo.uses.(Memo.idx memo (Expr.id e)) in
   (* [const_val e] is [Some v] when the subtree at [e] contains no
      variables, memoised per DAG node. *)
-  let const_memo : (int, float option) Hashtbl.t = Hashtbl.create 64 in
   let rec const_val e =
-    match Hashtbl.find_opt const_memo (Expr.id e) with
-    | Some r -> r
-    | None ->
+    let i = Memo.idx memo (Expr.id e) in
+    match Bytes.get memo.Memo.cstate i with
+    | '\001' -> Some memo.Memo.cval.(i)
+    | '\002' -> None
+    | _ ->
         let r =
           match Expr.view e with
           | Expr.V_const c -> Some c
-          | Expr.V_term _ -> None
+          | Expr.V_term { coeff; expts } ->
+              (* exp of an empty sum: the constant [coeff]. *)
+              if Array.length expts = 0 then Some coeff else None
           | Expr.V_scale (f, e') ->
               Option.map (fun v -> f *. v) (const_val e')
           | Expr.V_sum es ->
@@ -75,122 +218,187 @@ let compile root_expr =
                  max of constants depend on the evaluation-time [mu]. *)
               None
         in
-        Hashtbl.add const_memo (Expr.id e) r;
+        let i = Memo.idx memo (Expr.id e) in
+        (match r with
+        | Some v ->
+            Bytes.set memo.Memo.cstate i '\001';
+            memo.Memo.cval.(i) <- v
+        | None -> Bytes.set memo.Memo.cstate i '\002');
         r
   in
-  let instrs = ref [] in
-  let num_slots = ref 0 in
-  let push i =
-    instrs := i :: !instrs;
-    let slot = !num_slots in
-    incr num_slots;
-    slot
+  (* Growable tape buffers.  [push_slot o l h cv] appends one slot and
+     returns its index; segment entries for a slot must be pushed
+     (contiguously) before the slot itself. *)
+  let scap = ref 4096 and nslots = ref 0 in
+  let op_b = ref (Array.make !scap 0) in
+  let lo_b = ref (Array.make !scap 0) in
+  let hi_b = ref (Array.make !scap 0) in
+  let c_b = ref (Array.make !scap 0.0) in
+  let grow_int r len = r := Array.append !r (Array.make len 0) in
+  let grow_flt r len = r := Array.append !r (Array.make len 0.0) in
+  let push_slot o l h cv =
+    if !nslots = !scap then begin
+      grow_int op_b !scap;
+      grow_int lo_b !scap;
+      grow_int hi_b !scap;
+      grow_flt c_b !scap;
+      scap := 2 * !scap
+    end;
+    let k = !nslots in
+    !op_b.(k) <- o;
+    !lo_b.(k) <- l;
+    !hi_b.(k) <- h;
+    !c_b.(k) <- cv;
+    incr nslots;
+    k
   in
-  let slot_memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let rec emit e =
-    match Hashtbl.find_opt slot_memo (Expr.id e) with
+  let tcap = ref 4096 and tlen = ref 0 in
+  let tv_b = ref (Array.make !tcap 0) in
+  let te_b = ref (Array.make !tcap 0.0) in
+  let push_entry var e =
+    if !tlen = !tcap then begin
+      grow_int tv_b !tcap;
+      grow_flt te_b !tcap;
+      tcap := 2 * !tcap
+    end;
+    !tv_b.(!tlen) <- var;
+    !te_b.(!tlen) <- e;
+    incr tlen
+  in
+  let ccap = ref 4096 and clen = ref 0 in
+  let ch_b = ref (Array.make !ccap 0) in
+  let push_child s =
+    if !clen = !ccap then begin
+      grow_int ch_b !ccap;
+      ccap := 2 * !ccap
+    end;
+    !ch_b.(!clen) <- s;
+    incr clen
+  in
+  (* Highest variable index, tracked during the emit walk (every term
+     with a variable survives constant folding — a subtree containing
+     one is never constant — so this equals {!Expr.max_var} without a
+     second full DAG traversal). *)
+  let max_var = ref (-1) in
+  (* Constant slots carry no gradient and never change, so equal values
+     share one slot (the builders emit thousands of identical latency
+     constants as max branches).  A variable-free posynomial term is
+     the constant [coeff] (exp of an empty sum), so it joins the pool
+     instead of costing a term slot. *)
+  let const_slots = Hashtbl.create 64 in
+  let push_const v =
+    match Hashtbl.find_opt const_slots v with
     | Some s -> s
     | None ->
-        let slot =
-          match const_val e with
-          | Some v -> push (IConst v)
-          | None -> (
-              match Expr.view e with
-              | Expr.V_const c -> push (IConst c)
-              | Expr.V_term { coeff; expts } -> push (ITerm (coeff, expts))
-              | Expr.V_scale (f, e') ->
-                  let cs = emit e' in
-                  push (IScale (f, cs))
-              | Expr.V_sum es ->
-                  (* Fold constant summands into the bias; keep the
-                     construction order of the variable children. *)
-                  let bias = ref 0.0 in
-                  let kids = ref [] in
-                  Array.iter
-                    (fun e' ->
-                      match const_val e' with
-                      | Some v -> bias := !bias +. v
-                      | None -> kids := emit e' :: !kids)
-                    es;
-                  let kids = Array.of_list (List.rev !kids) in
-                  if !bias = 0.0 && Array.length kids = 1 then kids.(0)
-                  else push (ISum (!bias, kids))
-              | Expr.V_max es ->
-                  (* Constant branches stay as slots so the subgradient
-                     tie-break (first maximising branch, in order) and
-                     the softmax weighting match {!Expr} exactly. *)
-                  push (IMax (Array.map emit es)))
-        in
-        Hashtbl.add slot_memo (Expr.id e) slot;
-        slot
+        let s = push_slot op_const 0 0 v in
+        Hashtbl.add const_slots v s;
+        s
+  in
+  (* Exponent entries are pushed in reverse, and sum children in
+     reverse construction order, matching the segment layout of the
+     earlier two-pass assembly bit-for-bit (the accumulations are
+     commutative but float addition order is not). *)
+  let push_term coeff expts =
+    let l = !tlen in
+    for j = Array.length expts - 1 downto 0 do
+      let i, a = expts.(j) in
+      if i > !max_var then max_var := i;
+      push_entry i a
+    done;
+    push_slot op_term l !tlen coeff
+  in
+  let push_max f kids =
+    let l = !clen in
+    Array.iter push_child kids;
+    push_slot op_max l !clen f
+  in
+  let rec emit e =
+    let i = Memo.idx memo (Expr.id e) in
+    let s = memo.Memo.slot.(i) in
+    if s >= 0 then s
+    else begin
+      let slot =
+        match const_val e with
+        | Some v -> push_const v
+        | None -> (
+            match Expr.view e with
+            | Expr.V_const c -> push_const c
+            | Expr.V_term { coeff; expts } -> push_term coeff expts
+            | Expr.V_scale (f, e') ->
+                (* Compose chains of single-use scales into one factor
+                   and fold that factor into a single-use term's
+                   coefficient: multiplication reassociates, so only
+                   rounding (and a slot per folded link) changes. *)
+                let f = ref f and ec = ref e' in
+                let rec chase () =
+                  if uses_of !ec = 1 then
+                    match Expr.view !ec with
+                    | Expr.V_scale (g, e'') ->
+                        f := !f *. g;
+                        ec := e'';
+                        chase ()
+                    | _ -> ()
+                in
+                chase ();
+                (match Expr.view !ec with
+                | Expr.V_term { coeff; expts } when uses_of !ec = 1 ->
+                    push_term (!f *. coeff) expts
+                | Expr.V_max es when uses_of !ec = 1 ->
+                    (* Fuse the factor into the max slot: the sweeps
+                       multiply the slot's output (and its adjoints) by
+                       the factor, in the same float operations the
+                       separate scale slot performed. *)
+                    push_max !f (Array.map emit es)
+                | _ ->
+                    let s = emit !ec in
+                    push_slot op_scale s 0 !f)
+            | Expr.V_sum es ->
+                (* Fold constant summands into the bias.  A non-const
+                   summand that is itself a sum with no other parent is
+                   spliced in place of a child reference — addition
+                   reassociates, so only float rounding (and the tape
+                   size) changes. *)
+                let bias = ref 0.0 in
+                let kids = ref [] in
+                let nk = ref 0 in
+                let rec add_child e' =
+                  match const_val e' with
+                  | Some v -> bias := !bias +. v
+                  | None -> (
+                      match Expr.view e' with
+                      | Expr.V_sum es' when uses_of e' = 1 ->
+                          Array.iter add_child es'
+                      | _ ->
+                          kids := emit e' :: !kids;
+                          incr nk)
+                in
+                Array.iter add_child es;
+                if !bias = 0.0 && !nk = 1 then List.hd !kids
+                else begin
+                  let l = !clen in
+                  (* [kids] is in reverse construction order, which is
+                     the sum-segment layout (see [push_term]). *)
+                  List.iter push_child !kids;
+                  push_slot op_sum l !clen !bias
+                end
+            | Expr.V_max es ->
+                (* Constant branches stay as slots so the subgradient
+                   tie-break (first maximising branch, in order) and
+                   the softmax weighting match {!Expr} exactly. *)
+                push_max 1.0 (Array.map emit es))
+      in
+      let i = Memo.idx memo (Expr.id e) in
+      memo.Memo.slot.(i) <- slot;
+      slot
+    end
   in
   let root = emit root_expr in
-  let n = !num_slots in
-  let op = Array.make n 0 in
-  let lo = Array.make n 0 in
-  let hi = Array.make n 0 in
-  let c = Array.make n 0.0 in
-  let n_terms = ref 0 and n_children = ref 0 in
-  List.iter
-    (function
-      | ITerm (_, expts) -> n_terms := !n_terms + Array.length expts
-      | ISum (_, kids) | IMax kids -> n_children := !n_children + Array.length kids
-      | IConst _ | IScale _ -> ())
-    !instrs;
-  let term_var = Array.make !n_terms 0 in
-  let term_expt = Array.make !n_terms 0.0 in
-  let child = Array.make !n_children 0 in
-  let tpos = ref 0 and cpos = ref 0 in
-  List.iteri
-    (fun i instr ->
-      (* [instrs] is reversed: slot k lives at list position n-1-k. *)
-      let k = n - 1 - i in
-      match instr with
-      | IConst v ->
-          op.(k) <- op_const;
-          c.(k) <- v
-      | ITerm (coeff, expts) ->
-          op.(k) <- op_term;
-          c.(k) <- coeff;
-          (* Segments are filled right-to-left over the reversed list,
-             which keeps them contiguous; intra-segment order is
-             irrelevant to the (commutative) accumulations. *)
-          hi.(k) <- !n_terms - !tpos;
-          Array.iter
-            (fun (var, a) ->
-              incr tpos;
-              term_var.(!n_terms - !tpos) <- var;
-              term_expt.(!n_terms - !tpos) <- a)
-            expts;
-          lo.(k) <- !n_terms - !tpos
-      | ISum (bias, kids) ->
-          op.(k) <- op_sum;
-          c.(k) <- bias;
-          hi.(k) <- !n_children - !cpos;
-          Array.iter
-            (fun s ->
-              incr cpos;
-              child.(!n_children - !cpos) <- s)
-            kids;
-          lo.(k) <- !n_children - !cpos
-      | IMax kids ->
-          op.(k) <- op_max;
-          hi.(k) <- !n_children - !cpos;
-          (* Reverse fill preserves nothing; re-reverse so the segment
-             keeps construction order (the max tie-break needs it). *)
-          let m = Array.length kids in
-          for j = 0 to m - 1 do
-            child.(!n_children - !cpos - m + j) <- kids.(j)
-          done;
-          cpos := !cpos + m;
-          lo.(k) <- !n_children - !cpos
-      | IScale (f, s) ->
-          op.(k) <- op_scale;
-          c.(k) <- f;
-          lo.(k) <- s)
-    !instrs;
-  { n_vars = Expr.max_var root_expr + 1; root; op; lo; hi; c; term_var;
-    term_expt; child }
+  { n_vars = !max_var + 1; root;
+    op = Array.sub !op_b 0 !nslots; lo = Array.sub !lo_b 0 !nslots;
+    hi = Array.sub !hi_b 0 !nslots; c = Array.sub !c_b 0 !nslots;
+    term_var = Array.sub !tv_b 0 !tlen;
+    term_expt = Array.sub !te_b 0 !tlen;
+    child = Array.sub !ch_b 0 !clen; plan = Atomic.make None }
 
 let n_vars t = t.n_vars
 
@@ -201,14 +409,26 @@ let num_term_entries t = Array.length t.term_var
 let num_children t = Array.length t.child
 
 let create_workspace t =
+  let n = Int.max 1 (num_slots t) in
   {
-    v = Array.make (Int.max 1 (num_slots t)) 0.0;
-    adj = Array.make (Int.max 1 (num_slots t)) 0.0;
+    v = Array.make n 0.0;
+    adj = Array.make n 0.0;
     w = Array.make (Int.max 1 (num_children t)) 0.0;
     s = Array.make 1 0.0;
-    vd = Array.make (Int.max 1 (num_slots t)) 0.0;
-    adjd = Array.make (Int.max 1 (num_slots t)) 0.0;
+    vd = Array.make n 0.0;
+    adjd = Array.make n 0.0;
     wd = Array.make (Int.max 1 (num_children t)) 0.0;
+    sel = Array.make n (-1);
+    mask_mu = 0.0;
+    mask_valid = false;
+    mask_free = Array.make (Int.max 1 t.n_vars) false;
+    n_active = 0;
+    active = Array.make n 0;
+    n_union = 0;
+    union = Array.make n 0;
+    flags = Bytes.make n '\000';
+    bar = None;
+    bar_parties = 0;
   }
 
 let check_dim name t x =
@@ -217,57 +437,105 @@ let check_dim name t x =
       (Printf.sprintf "Tape.%s: tape uses variable %d but x has dim %d" name
          (t.n_vars - 1) (Vec.dim x))
 
+(* Unsafe indexing for the O(|tape|) inner loops.  Every index comes
+   from the tape's own, internally consistent arrays ([child] and the
+   segment bounds point inside the tape; [term_var] is below [n_vars],
+   which [check_dim] verifies against the caller's vectors), and the
+   bounds checks are a measurable fraction of sweep time on the
+   ~500k-slot tapes of deep MDGs.  Float expressions below keep the
+   exact shape of the checked originals, so results are bit-identical. *)
+external ( .%() ) : 'a array -> int -> 'a = "%array_unsafe_get"
+
+external ( .%()<- ) : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
+
+(* First maximising branch of max slot [p] for the reverse sweeps'
+   subgradient tie-break, replayed from [sel] (the strict-[>] forward
+   scan records the earliest of any tie, the branch {!Expr.eval_grad}
+   picks).  When the max is empty or every branch is [neg_infinity]
+   [sel] is -1: settle on [lo] if the slot's value is [neg_infinity]
+   (matching a downward [>=] rescan), and on nothing for NaN. *)
+let rev_sel t ws p =
+  if ws.sel.(p) >= 0 then ws.sel.(p)
+  else if ws.v.(p) = neg_infinity && t.hi.(p) > t.lo.(p) then t.lo.(p)
+  else min_int
+
 (* Forward sweep.  With [weights = true] (gradient path, mu > 0) the
    normalised softmax weights of every max are stored in [ws.w] for
    the reverse sweep.  Allocation-free: all accumulators live in the
    workspace's flat float arrays. *)
 let forward ~mu ~weights t ws x =
-  let v = ws.v and w = ws.w and s = ws.s in
-  let n = Array.length t.op in
+  let v = ws.v and w = ws.w and s = ws.s and sel = ws.sel in
+  let opa = t.op and loa = t.lo and hia = t.hi and ca = t.c in
+  let tv = t.term_var and te = t.term_expt and ch = t.child in
+  let n = Array.length opa in
   for k = 0 to n - 1 do
-    let o = t.op.(k) in
+    let o = opa.%(k) in
     if o = op_term then begin
-      v.(k) <- 0.0;
-      for j = t.lo.(k) to t.hi.(k) - 1 do
-        v.(k) <- v.(k) +. (t.term_expt.(j) *. x.(t.term_var.(j)))
+      v.%(k) <- 0.0;
+      for j = loa.%(k) to hia.%(k) - 1 do
+        v.%(k) <- v.%(k) +. (te.%(j) *. x.%(tv.%(j)))
       done;
-      v.(k) <- t.c.(k) *. exp v.(k)
+      v.%(k) <- ca.%(k) *. exp v.%(k)
     end
     else if o = op_sum then begin
-      v.(k) <- t.c.(k);
-      for j = t.lo.(k) to t.hi.(k) - 1 do
-        v.(k) <- v.(k) +. v.(t.child.(j))
+      v.%(k) <- ca.%(k);
+      for j = loa.%(k) to hia.%(k) - 1 do
+        v.%(k) <- v.%(k) +. v.%(ch.%(j))
       done
     end
     else if o = op_max then begin
-      v.(k) <- neg_infinity;
-      for j = t.lo.(k) to t.hi.(k) - 1 do
-        if v.(t.child.(j)) > v.(k) then v.(k) <- v.(t.child.(j))
+      v.%(k) <- neg_infinity;
+      (* Record the first maximising branch: the masked-HVP path and
+         the parallel reverse gather replay the subgradient tie-break
+         from [sel] instead of rescanning.  (Workspace cells, not
+         refs, keep the sweep allocation-free without flambda.) *)
+      sel.%(k) <- -1;
+      for j = loa.%(k) to hia.%(k) - 1 do
+        if v.%(ch.%(j)) > v.%(k) then begin
+          v.%(k) <- v.%(ch.%(j));
+          sel.%(k) <- j
+        end
       done;
-      if mu > 0.0 && Float.is_finite v.(k) then begin
+      if mu > 0.0 && Float.is_finite v.%(k) then begin
         (* v.(k) currently holds the shift m; s.(0) accumulates the
            log-sum-exp normaliser. *)
-        s.(0) <- 0.0;
-        for j = t.lo.(k) to t.hi.(k) - 1 do
-          let e = exp ((v.(t.child.(j)) -. v.(k)) /. mu) in
-          if weights then w.(j) <- e;
-          s.(0) <- s.(0) +. e
+        s.%(0) <- 0.0;
+        for j = loa.%(k) to hia.%(k) - 1 do
+          let e = exp ((v.%(ch.%(j)) -. v.%(k)) /. mu) in
+          if weights then w.%(j) <- e;
+          s.%(0) <- s.%(0) +. e
         done;
         if weights then
-          for j = t.lo.(k) to t.hi.(k) - 1 do
-            w.(j) <- w.(j) /. s.(0)
+          for j = loa.%(k) to hia.%(k) - 1 do
+            w.%(j) <- w.%(j) /. s.%(0)
           done;
-        v.(k) <- v.(k) +. (mu *. log s.(0))
-      end
+        v.%(k) <- v.%(k) +. (mu *. log s.%(0))
+      end;
+      (* Fused scale factor (1.0 for a plain max: bit-identical). *)
+      v.%(k) <- ca.%(k) *. v.%(k)
     end
-    else if o = op_scale then v.(k) <- t.c.(k) *. v.(t.lo.(k))
-    else (* op_const *) v.(k) <- t.c.(k)
+    else if o = op_scale then v.%(k) <- ca.%(k) *. v.%(loa.%(k))
+    else (* op_const *) v.%(k) <- ca.%(k)
   done;
   v.(t.root)
 
 let eval ?(mu = 0.0) t ws x =
   check_dim "eval" t x;
   forward ~mu ~weights:false t ws x
+
+(* Branch values of a root max, read off the last forward sweep.  The
+   objective Φ = max(A_p, C_p) already computes both components on the
+   way to the root, so callers that report them (e.g.
+   {!Core.Allocation}) can read the child slots instead of re-walking
+   the expression DAG — on a 10k-node MDG those two DAG evals cost
+   more than the entire tape sweep. *)
+let root_branches t ws =
+  if t.op.(t.root) <> op_max then [||]
+  else begin
+    let lo = t.lo.(t.root) and hi = t.hi.(t.root) in
+    let f = t.c.(t.root) in
+    Array.init (hi - lo) (fun j -> f *. ws.v.(t.child.(lo + j)))
+  end
 
 (* Forward sweep carrying first-order tangents along direction [dx]:
    after the sweep, [ws.vd.(k)] is the directional derivative of slot
@@ -278,71 +546,76 @@ let eval ?(mu = 0.0) t ws x =
    Gauss–Newton-style reverse sweep below yields the Hessian of the
    active piece.  Allocation-free, like {!forward}. *)
 let forward_tangent ~mu t ws x dx =
-  let v = ws.v and w = ws.w and s = ws.s and vd = ws.vd and wd = ws.wd in
-  let n = Array.length t.op in
+  let v = ws.v and w = ws.w and s = ws.s in
+  let vd = ws.vd and wd = ws.wd and sel = ws.sel in
+  let opa = t.op and loa = t.lo and hia = t.hi and ca = t.c in
+  let tv = t.term_var and te = t.term_expt and ch = t.child in
+  let n = Array.length opa in
   for k = 0 to n - 1 do
-    let o = t.op.(k) in
+    let o = opa.%(k) in
     if o = op_term then begin
-      v.(k) <- 0.0;
-      vd.(k) <- 0.0;
-      for j = t.lo.(k) to t.hi.(k) - 1 do
-        v.(k) <- v.(k) +. (t.term_expt.(j) *. x.(t.term_var.(j)));
-        vd.(k) <- vd.(k) +. (t.term_expt.(j) *. dx.(t.term_var.(j)))
+      v.%(k) <- 0.0;
+      vd.%(k) <- 0.0;
+      for j = loa.%(k) to hia.%(k) - 1 do
+        v.%(k) <- v.%(k) +. (te.%(j) *. x.%(tv.%(j)));
+        vd.%(k) <- vd.%(k) +. (te.%(j) *. dx.%(tv.%(j)))
       done;
-      v.(k) <- t.c.(k) *. exp v.(k);
+      v.%(k) <- ca.%(k) *. exp v.%(k);
       (* d(c·e^s) = c·e^s·ds *)
-      vd.(k) <- v.(k) *. vd.(k)
+      vd.%(k) <- v.%(k) *. vd.%(k)
     end
     else if o = op_sum then begin
-      v.(k) <- t.c.(k);
-      vd.(k) <- 0.0;
-      for j = t.lo.(k) to t.hi.(k) - 1 do
-        v.(k) <- v.(k) +. v.(t.child.(j));
-        vd.(k) <- vd.(k) +. vd.(t.child.(j))
+      v.%(k) <- ca.%(k);
+      vd.%(k) <- 0.0;
+      for j = loa.%(k) to hia.%(k) - 1 do
+        v.%(k) <- v.%(k) +. v.%(ch.%(j));
+        vd.%(k) <- vd.%(k) +. vd.%(ch.%(j))
       done
     end
     else if o = op_max then begin
-      v.(k) <- neg_infinity;
-      (* s.(0) temporarily holds the index of the first maximising
-         branch; the strict [>] keeps the earliest of any tie, matching
-         the subgradient tie-break. *)
-      s.(0) <- -1.0;
-      for j = t.lo.(k) to t.hi.(k) - 1 do
-        if v.(t.child.(j)) > v.(k) then begin
-          v.(k) <- v.(t.child.(j));
-          s.(0) <- float_of_int j
+      v.%(k) <- neg_infinity;
+      (* The strict [>] keeps the earliest of any tie, matching the
+         subgradient tie-break. *)
+      sel.%(k) <- -1;
+      for j = loa.%(k) to hia.%(k) - 1 do
+        if v.%(ch.%(j)) > v.%(k) then begin
+          v.%(k) <- v.%(ch.%(j));
+          sel.%(k) <- j
         end
       done;
-      vd.(k) <-
-        (if s.(0) >= 0.0 then vd.(t.child.(int_of_float s.(0))) else 0.0);
-      if mu > 0.0 && Float.is_finite v.(k) then begin
-        let m = v.(k) in
-        s.(0) <- 0.0;
-        for j = t.lo.(k) to t.hi.(k) - 1 do
-          let e = exp ((v.(t.child.(j)) -. m) /. mu) in
-          w.(j) <- e;
-          s.(0) <- s.(0) +. e
+      vd.%(k) <- (if sel.%(k) >= 0 then vd.%(ch.%(sel.%(k))) else 0.0);
+      if mu > 0.0 && Float.is_finite v.%(k) then begin
+        let m = v.%(k) in
+        s.%(0) <- 0.0;
+        for j = loa.%(k) to hia.%(k) - 1 do
+          let e = exp ((v.%(ch.%(j)) -. m) /. mu) in
+          w.%(j) <- e;
+          s.%(0) <- s.%(0) +. e
         done;
-        vd.(k) <- 0.0;
-        for j = t.lo.(k) to t.hi.(k) - 1 do
-          w.(j) <- w.(j) /. s.(0);
-          vd.(k) <- vd.(k) +. (w.(j) *. vd.(t.child.(j)))
+        vd.%(k) <- 0.0;
+        for j = loa.%(k) to hia.%(k) - 1 do
+          w.%(j) <- w.%(j) /. s.%(0);
+          vd.%(k) <- vd.%(k) +. (w.%(j) *. vd.%(ch.%(j)))
         done;
-        (* dw_j = w_j (dv_j - dv_k)/mu, with dv_k = sum_l w_l dv_l. *)
-        for j = t.lo.(k) to t.hi.(k) - 1 do
-          wd.(j) <- w.(j) *. (vd.(t.child.(j)) -. vd.(k)) /. mu
+        (* dw_j = w_j (dv_j - dv_k)/mu, with dv_k = sum_l w_l dv_l
+           (both of the unscaled log-sum-exp: the weights are its
+           derivatives; the fused factor enters via the adjoints). *)
+        for j = loa.%(k) to hia.%(k) - 1 do
+          wd.%(j) <- w.%(j) *. (vd.%(ch.%(j)) -. vd.%(k)) /. mu
         done;
-        v.(k) <- m +. (mu *. log s.(0))
-      end
+        v.%(k) <- m +. (mu *. log s.%(0))
+      end;
+      v.%(k) <- ca.%(k) *. v.%(k);
+      vd.%(k) <- ca.%(k) *. vd.%(k)
     end
     else if o = op_scale then begin
-      v.(k) <- t.c.(k) *. v.(t.lo.(k));
-      vd.(k) <- t.c.(k) *. vd.(t.lo.(k))
+      v.%(k) <- ca.%(k) *. v.%(loa.%(k));
+      vd.%(k) <- ca.%(k) *. vd.%(loa.%(k))
     end
     else begin
       (* op_const *)
-      v.(k) <- t.c.(k);
-      vd.(k) <- 0.0
+      v.%(k) <- ca.%(k);
+      vd.%(k) <- 0.0
     end
   done;
   v.(t.root)
@@ -353,58 +626,67 @@ let eval_hvp ?(mu = 0.0) t ws ~x ~dx ~grad ~hvp =
     invalid_arg "Tape.eval_hvp: dx/x dimension mismatch";
   if Vec.dim grad <> Vec.dim x || Vec.dim hvp <> Vec.dim x then
     invalid_arg "Tape.eval_hvp: grad/hvp/x dimension mismatch";
+  (* The dense tangent sweeps write tangents outside any mask's sets,
+     breaking the zero-tangent invariant a cached mask relies on. *)
+  ws.mask_valid <- false;
   let value = forward_tangent ~mu t ws x dx in
   let v = ws.v and adj = ws.adj and w = ws.w in
   let vd = ws.vd and adjd = ws.adjd and wd = ws.wd in
-  let n = Array.length t.op in
+  let opa = t.op and loa = t.lo and hia = t.hi and ca = t.c in
+  let tv = t.term_var and te = t.term_expt and ch = t.child in
+  let n = Array.length opa in
   Array.fill adj 0 n 0.0;
   Array.fill adjd 0 n 0.0;
   Array.fill grad 0 (Vec.dim grad) 0.0;
   Array.fill hvp 0 (Vec.dim hvp) 0.0;
   adj.(t.root) <- 1.0;
   for k = n - 1 downto 0 do
-    let a = adj.(k) in
-    let ad = adjd.(k) in
+    let a = adj.%(k) in
+    let ad = adjd.%(k) in
     if a <> 0.0 || ad <> 0.0 then begin
-      let o = t.op.(k) in
+      let o = opa.%(k) in
       if o = op_term then
-        for j = t.lo.(k) to t.hi.(k) - 1 do
-          let i = t.term_var.(j) in
-          let e = t.term_expt.(j) in
-          grad.(i) <- grad.(i) +. (a *. e *. v.(k));
+        for j = loa.%(k) to hia.%(k) - 1 do
+          let i = tv.%(j) in
+          let e = te.%(j) in
+          grad.%(i) <- grad.%(i) +. (a *. e *. v.%(k));
           (* d(a·e·v) = e·(da·v + a·dv) *)
-          hvp.(i) <- hvp.(i) +. (e *. ((ad *. v.(k)) +. (a *. vd.(k))))
+          hvp.%(i) <- hvp.%(i) +. (e *. ((ad *. v.%(k)) +. (a *. vd.%(k))))
         done
       else if o = op_sum then
-        for j = t.lo.(k) to t.hi.(k) - 1 do
-          adj.(t.child.(j)) <- adj.(t.child.(j)) +. a;
-          adjd.(t.child.(j)) <- adjd.(t.child.(j)) +. ad
+        for j = loa.%(k) to hia.%(k) - 1 do
+          let cj = ch.%(j) in
+          adj.%(cj) <- adj.%(cj) +. a;
+          adjd.%(cj) <- adjd.%(cj) +. ad
         done
-      else if o = op_max then
-        if mu > 0.0 && Float.is_finite v.(k) then
-          for j = t.lo.(k) to t.hi.(k) - 1 do
-            adj.(t.child.(j)) <- adj.(t.child.(j)) +. (a *. w.(j));
+      else if o = op_max then begin
+        (* The fused scale factor multiplies both adjoints, exactly as
+           the separate scale slot did before propagation. *)
+        let ac = a *. ca.%(k) in
+        let adc = ad *. ca.%(k) in
+        if mu > 0.0 && Float.is_finite v.%(k) then
+          for j = loa.%(k) to hia.%(k) - 1 do
+            let cj = ch.%(j) in
+            adj.%(cj) <- adj.%(cj) +. (ac *. w.%(j));
             (* d(a·w_j) = da·w_j + a·dw_j — the a·dw_j term is where the
                curvature of the smoothed max enters the Hessian. *)
-            adjd.(t.child.(j)) <-
-              adjd.(t.child.(j)) +. (ad *. w.(j)) +. (a *. wd.(j))
+            adjd.%(cj) <- adjd.%(cj) +. (adc *. w.%(j)) +. (ac *. wd.%(j))
           done
         else begin
-          (* Same first-maximising-branch scan as eval_grad; the branch
+          (* First maximising branch, replayed from [sel]; the branch
              indicator is locally constant, so its tangent is zero. *)
-          ws.s.(0) <- -1.0;
-          for j = t.hi.(k) - 1 downto t.lo.(k) do
-            if v.(t.child.(j)) >= v.(k) then ws.s.(0) <- float_of_int j
-          done;
-          if ws.s.(0) >= 0.0 then begin
-            let j = int_of_float ws.s.(0) in
-            adj.(t.child.(j)) <- adj.(t.child.(j)) +. a;
-            adjd.(t.child.(j)) <- adjd.(t.child.(j)) +. ad
+          let j = rev_sel t ws k in
+          if j >= loa.%(k) then begin
+            let cj = ch.%(j) in
+            adj.%(cj) <- adj.%(cj) +. ac;
+            adjd.%(cj) <- adjd.%(cj) +. adc
           end
         end
+      end
       else if o = op_scale then begin
-        adj.(t.lo.(k)) <- adj.(t.lo.(k)) +. (a *. t.c.(k));
-        adjd.(t.lo.(k)) <- adjd.(t.lo.(k)) +. (ad *. t.c.(k))
+        let cj = loa.%(k) in
+        adj.%(cj) <- adj.%(cj) +. (a *. ca.%(k));
+        adjd.%(cj) <- adjd.%(cj) +. (ad *. ca.%(k))
       end
       (* op_const: adjoint discarded *)
     end
@@ -417,46 +699,783 @@ let eval_grad ?(mu = 0.0) t ws ~x ~grad =
     invalid_arg "Tape.eval_grad: grad/x dimension mismatch";
   let value = forward ~mu ~weights:true t ws x in
   let v = ws.v and adj = ws.adj and w = ws.w in
-  let n = Array.length t.op in
+  let opa = t.op and loa = t.lo and hia = t.hi and ca = t.c in
+  let tv = t.term_var and te = t.term_expt and ch = t.child in
+  let n = Array.length opa in
   Array.fill adj 0 n 0.0;
   Array.fill grad 0 (Vec.dim grad) 0.0;
   adj.(t.root) <- 1.0;
   for k = n - 1 downto 0 do
-    let a = adj.(k) in
+    let a = adj.%(k) in
     if a <> 0.0 then begin
-      let o = t.op.(k) in
+      let o = opa.%(k) in
       if o = op_term then
-        for j = t.lo.(k) to t.hi.(k) - 1 do
-          let i = t.term_var.(j) in
-          grad.(i) <- grad.(i) +. (a *. t.term_expt.(j) *. v.(k))
+        for j = loa.%(k) to hia.%(k) - 1 do
+          let i = tv.%(j) in
+          grad.%(i) <- grad.%(i) +. (a *. te.%(j) *. v.%(k))
         done
       else if o = op_sum then
-        for j = t.lo.(k) to t.hi.(k) - 1 do
-          adj.(t.child.(j)) <- adj.(t.child.(j)) +. a
+        for j = loa.%(k) to hia.%(k) - 1 do
+          let cj = ch.%(j) in
+          adj.%(cj) <- adj.%(cj) +. a
         done
-      else if o = op_max then
-        if mu > 0.0 && Float.is_finite v.(k) then
-          for j = t.lo.(k) to t.hi.(k) - 1 do
-            adj.(t.child.(j)) <- adj.(t.child.(j)) +. (a *. w.(j))
+      else if o = op_max then begin
+        let ac = a *. ca.%(k) in
+        if mu > 0.0 && Float.is_finite v.%(k) then
+          for j = loa.%(k) to hia.%(k) - 1 do
+            let cj = ch.%(j) in
+            adj.%(cj) <- adj.%(cj) +. (ac *. w.%(j))
           done
         else begin
           (* Subgradient: the first maximising branch in construction
-             order, exactly as {!Expr.eval_grad} picks it.  [v.(k)] is
-             the exact max here, so equality finds that branch.  The
-             downward scan keeps the lowest index; the scratch cell
-             (not a ref) keeps this allocation-free. *)
-          ws.s.(0) <- -1.0;
-          for j = t.hi.(k) - 1 downto t.lo.(k) do
-            if v.(t.child.(j)) >= v.(k) then ws.s.(0) <- float_of_int j
-          done;
-          if ws.s.(0) >= 0.0 then begin
-            let j = int_of_float ws.s.(0) in
-            adj.(t.child.(j)) <- adj.(t.child.(j)) +. a
+             order, exactly as {!Expr.eval_grad} picks it, replayed
+             from the forward scan's [sel]. *)
+          let j = rev_sel t ws k in
+          if j >= loa.%(k) then begin
+            let cj = ch.%(j) in
+            adj.%(cj) <- adj.%(cj) +. ac
           end
         end
-      else if o = op_scale then
-        adj.(t.lo.(k)) <- adj.(t.lo.(k)) +. (a *. t.c.(k))
+      end
+      else if o = op_scale then begin
+        let cj = loa.%(k) in
+        adj.%(cj) <- adj.%(cj) +. (a *. ca.%(k))
+      end
       (* op_const: adjoint discarded *)
     end
   done;
   value
+
+(* ------------------------------------------------------------------ *)
+(* Level schedule and transpose                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Domain_pool = Numeric.Domain_pool
+
+(* Minimum slots in a level before it is split across domains; below
+   this the handoff costs more than the work. *)
+let par_threshold = 64
+
+let build_plan t =
+  let n = Array.length t.op in
+  let level = Array.make (Int.max 1 n) 0 in
+  let max_level = ref 0 in
+  for k = 0 to n - 1 do
+    let o = t.op.(k) in
+    let l =
+      if o = op_sum || o = op_max then begin
+        let m = ref (-1) in
+        for j = t.lo.(k) to t.hi.(k) - 1 do
+          if level.(t.child.(j)) > !m then m := level.(t.child.(j))
+        done;
+        !m + 1
+      end
+      else if o = op_scale then level.(t.lo.(k)) + 1
+      else 0
+    in
+    level.(k) <- l;
+    if l > !max_level then max_level := l
+  done;
+  let nl = !max_level + 1 in
+  let level_off = Array.make (nl + 1) 0 in
+  for k = 0 to n - 1 do
+    level_off.(level.(k) + 1) <- level_off.(level.(k) + 1) + 1
+  done;
+  for l = 0 to nl - 1 do
+    level_off.(l + 1) <- level_off.(l + 1) + level_off.(l)
+  done;
+  let level_slots = Array.make (Int.max 1 n) 0 in
+  let cursor = Array.sub level_off 0 nl in
+  for k = 0 to n - 1 do
+    let l = level.(k) in
+    level_slots.(cursor.(l)) <- k;
+    cursor.(l) <- cursor.(l) + 1
+  done;
+  let fan =
+    Array.init nl (fun l -> level_off.(l + 1) - level_off.(l) >= par_threshold)
+  in
+  (* Transpose: incoming (parent, edge) pairs per slot, parents
+     descending and edges ascending within a parent, so a gather adds
+     contributions in exactly the serial reverse sweep's order. *)
+  let pin_off = Array.make (n + 1) 0 in
+  for k = 0 to n - 1 do
+    let o = t.op.(k) in
+    if o = op_sum || o = op_max then
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        let ch = t.child.(j) in
+        pin_off.(ch + 1) <- pin_off.(ch + 1) + 1
+      done
+    else if o = op_scale then begin
+      let ch = t.lo.(k) in
+      pin_off.(ch + 1) <- pin_off.(ch + 1) + 1
+    end
+  done;
+  for k = 0 to n - 1 do
+    pin_off.(k + 1) <- pin_off.(k + 1) + pin_off.(k)
+  done;
+  let ne = pin_off.(n) in
+  let par_slot = Array.make (Int.max 1 ne) 0 in
+  let par_edge = Array.make (Int.max 1 ne) 0 in
+  let cur = Array.sub pin_off 0 (Int.max 1 n) in
+  for k = n - 1 downto 0 do
+    let o = t.op.(k) in
+    if o = op_sum || o = op_max then
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        let ch = t.child.(j) in
+        par_slot.(cur.(ch)) <- k;
+        par_edge.(cur.(ch)) <- j;
+        cur.(ch) <- cur.(ch) + 1
+      done
+    else if o = op_scale then begin
+      let ch = t.lo.(k) in
+      par_slot.(cur.(ch)) <- k;
+      par_edge.(cur.(ch)) <- -1;
+      cur.(ch) <- cur.(ch) + 1
+    end
+  done;
+  (* Same transpose for gradient components: the (term slot, entry)
+     pairs feeding each variable, slots descending. *)
+  let nv = t.n_vars in
+  let vin_off = Array.make (nv + 1) 0 in
+  Array.iter (fun i -> vin_off.(i + 1) <- vin_off.(i + 1) + 1) t.term_var;
+  for i = 0 to nv - 1 do
+    vin_off.(i + 1) <- vin_off.(i + 1) + vin_off.(i)
+  done;
+  let nt = vin_off.(nv) in
+  let vterm_slot = Array.make (Int.max 1 nt) 0 in
+  let vterm_entry = Array.make (Int.max 1 nt) 0 in
+  let curv = Array.sub vin_off 0 (Int.max 1 nv) in
+  for k = n - 1 downto 0 do
+    if t.op.(k) = op_term then
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        let i = t.term_var.(j) in
+        vterm_slot.(curv.(i)) <- k;
+        vterm_entry.(curv.(i)) <- j;
+        curv.(i) <- curv.(i) + 1
+      done
+  done;
+  { level_off; level_slots; fan; pin_off; par_slot; par_edge; vin_off;
+    vterm_slot; vterm_entry }
+
+let plan_of t =
+  match Atomic.get t.plan with
+  | Some p -> p
+  | None -> (
+      let p = build_plan t in
+      (* A concurrent build produces an identical plan; first publisher
+         wins and the loser's copy is dropped. *)
+      if Atomic.compare_and_set t.plan None (Some p) then p
+      else match Atomic.get t.plan with Some p' -> p' | None -> p)
+
+let num_levels t = Array.length (plan_of t).level_off - 1
+
+let get_barrier ws nd =
+  match ws.bar with
+  | Some b when ws.bar_parties = nd -> b
+  | _ ->
+      let b = Domain_pool.barrier nd in
+      ws.bar <- Some b;
+      ws.bar_parties <- nd;
+      b
+
+(* Iterate the plan's levels inside a pool job.  Narrow levels run
+   whole on participant 0; wide ([fan]) levels are chunked evenly
+   across participants, with a barrier before them (when following
+   participant-0-only work, whose writes must become visible) and one
+   after.  Consecutive narrow levels need no barrier: only participant
+   0 touches them.  [prev] threads the "previous level was fanned"
+   flag across the phases of one job so phase boundaries follow the
+   same rule; every participant executes the same control flow, so
+   barrier counts always agree. *)
+let sweep_levels plan bar nd di ~descending ~prev body =
+  let nl = Array.length plan.level_off - 1 in
+  let prev_fan = ref prev in
+  for step = 0 to nl - 1 do
+    let l = if descending then nl - 1 - step else step in
+    let lo = plan.level_off.(l) and hi = plan.level_off.(l + 1) in
+    if plan.fan.(l) then begin
+      if not !prev_fan then Domain_pool.await bar;
+      let chunk = (hi - lo + nd - 1) / nd in
+      let a = lo + (di * chunk) in
+      let b = Int.min hi (a + chunk) in
+      if a < b then body a b;
+      Domain_pool.await bar;
+      prev_fan := true
+    end
+    else begin
+      if di = 0 then body lo hi;
+      prev_fan := false
+    end
+  done;
+  !prev_fan
+
+(* The per-variable gather phase, same barrier protocol as one level. *)
+let var_phase bar nd di ~prev ~count body =
+  if count >= par_threshold then begin
+    if not prev then Domain_pool.await bar;
+    let chunk = (count + nd - 1) / nd in
+    let a = di * chunk in
+    let b = Int.min count (a + chunk) in
+    if a < b then body a b;
+    Domain_pool.await bar
+  end
+  else if di = 0 then body 0 count
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweeps                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-slot forward step, bit-identical to the loop body of {!forward}
+   but with local accumulators (the [ws.s] scratch cell would race). *)
+let forward_slot ~mu ~weights t ws x k =
+  let v = ws.v and w = ws.w in
+  let o = t.op.(k) in
+  if o = op_term then begin
+    let acc = ref 0.0 in
+    for j = t.lo.(k) to t.hi.(k) - 1 do
+      acc := !acc +. (t.term_expt.(j) *. x.(t.term_var.(j)))
+    done;
+    v.(k) <- t.c.(k) *. exp !acc
+  end
+  else if o = op_sum then begin
+    let acc = ref t.c.(k) in
+    for j = t.lo.(k) to t.hi.(k) - 1 do
+      acc := !acc +. v.(t.child.(j))
+    done;
+    v.(k) <- !acc
+  end
+  else if o = op_max then begin
+    let m = ref neg_infinity and sl = ref (-1) in
+    for j = t.lo.(k) to t.hi.(k) - 1 do
+      if v.(t.child.(j)) > !m then begin
+        m := v.(t.child.(j));
+        sl := j
+      end
+    done;
+    ws.sel.(k) <- !sl;
+    if mu > 0.0 && Float.is_finite !m then begin
+      let s0 = ref 0.0 in
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        let e = exp ((v.(t.child.(j)) -. !m) /. mu) in
+        if weights then w.(j) <- e;
+        s0 := !s0 +. e
+      done;
+      if weights then
+        for j = t.lo.(k) to t.hi.(k) - 1 do
+          w.(j) <- w.(j) /. !s0
+        done;
+      v.(k) <- t.c.(k) *. (!m +. (mu *. log !s0))
+    end
+    else v.(k) <- t.c.(k) *. !m
+  end
+  else if o = op_scale then v.(k) <- t.c.(k) *. v.(t.lo.(k))
+  else v.(k) <- t.c.(k)
+
+(* Per-slot tangent forward step, mirroring {!forward_tangent}. *)
+let forward_tangent_slot ~mu t ws x dx k =
+  let v = ws.v and w = ws.w and vd = ws.vd and wd = ws.wd in
+  let o = t.op.(k) in
+  if o = op_term then begin
+    let acc = ref 0.0 and accd = ref 0.0 in
+    for j = t.lo.(k) to t.hi.(k) - 1 do
+      acc := !acc +. (t.term_expt.(j) *. x.(t.term_var.(j)));
+      accd := !accd +. (t.term_expt.(j) *. dx.(t.term_var.(j)))
+    done;
+    v.(k) <- t.c.(k) *. exp !acc;
+    vd.(k) <- v.(k) *. !accd
+  end
+  else if o = op_sum then begin
+    let acc = ref t.c.(k) and accd = ref 0.0 in
+    for j = t.lo.(k) to t.hi.(k) - 1 do
+      acc := !acc +. v.(t.child.(j));
+      accd := !accd +. vd.(t.child.(j))
+    done;
+    v.(k) <- !acc;
+    vd.(k) <- !accd
+  end
+  else if o = op_max then begin
+    let m = ref neg_infinity and sl = ref (-1) in
+    for j = t.lo.(k) to t.hi.(k) - 1 do
+      if v.(t.child.(j)) > !m then begin
+        m := v.(t.child.(j));
+        sl := j
+      end
+    done;
+    ws.sel.(k) <- !sl;
+    if mu > 0.0 && Float.is_finite !m then begin
+      let s0 = ref 0.0 in
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        let e = exp ((v.(t.child.(j)) -. !m) /. mu) in
+        w.(j) <- e;
+        s0 := !s0 +. e
+      done;
+      let d = ref 0.0 in
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        w.(j) <- w.(j) /. !s0;
+        d := !d +. (w.(j) *. vd.(t.child.(j)))
+      done;
+      for j = t.lo.(k) to t.hi.(k) - 1 do
+        wd.(j) <- w.(j) *. (vd.(t.child.(j)) -. !d) /. mu
+      done;
+      v.(k) <- t.c.(k) *. (!m +. (mu *. log !s0));
+      vd.(k) <- t.c.(k) *. !d
+    end
+    else begin
+      v.(k) <- t.c.(k) *. !m;
+      vd.(k) <- t.c.(k) *. (if !sl >= 0 then vd.(t.child.(!sl)) else 0.0)
+    end
+  end
+  else if o = op_scale then begin
+    v.(k) <- t.c.(k) *. v.(t.lo.(k));
+    vd.(k) <- t.c.(k) *. vd.(t.lo.(k))
+  end
+  else begin
+    v.(k) <- t.c.(k);
+    vd.(k) <- 0.0
+  end
+
+(* Gather the adjoint of slot [k] from its parents (all in higher
+   levels, hence already settled).  Same contributions, same order and
+   same zero-skip guard as the serial scatter in {!eval_grad}. *)
+let adj_gather ~mu t plan ws k =
+  let v = ws.v and adj = ws.adj and w = ws.w in
+  let acc = ref (if k = t.root then 1.0 else 0.0) in
+  for idx = plan.pin_off.(k) to plan.pin_off.(k + 1) - 1 do
+    let p = plan.par_slot.(idx) in
+    let a = adj.(p) in
+    if a <> 0.0 then begin
+      let o = t.op.(p) in
+      if o = op_sum then acc := !acc +. a
+      else if o = op_max then begin
+        if mu > 0.0 && Float.is_finite v.(p) then
+          acc := !acc +. (a *. t.c.(p) *. w.(plan.par_edge.(idx)))
+        else if plan.par_edge.(idx) = rev_sel t ws p then
+          acc := !acc +. (a *. t.c.(p))
+      end
+      else (* op_scale *) acc := !acc +. (a *. t.c.(p))
+    end
+  done;
+  adj.(k) <- !acc
+
+(* Joint adjoint/adjoint-tangent gather, mirroring {!eval_hvp}. *)
+let adjd_gather ~mu t plan ws k =
+  let v = ws.v and adj = ws.adj and w = ws.w in
+  let adjd = ws.adjd and wd = ws.wd in
+  let acc = ref (if k = t.root then 1.0 else 0.0) in
+  let accd = ref 0.0 in
+  for idx = plan.pin_off.(k) to plan.pin_off.(k + 1) - 1 do
+    let p = plan.par_slot.(idx) in
+    let a = adj.(p) in
+    let ad = adjd.(p) in
+    if a <> 0.0 || ad <> 0.0 then begin
+      let o = t.op.(p) in
+      if o = op_sum then begin
+        acc := !acc +. a;
+        accd := !accd +. ad
+      end
+      else if o = op_max then begin
+        let ac = a *. t.c.(p) in
+        let adc = ad *. t.c.(p) in
+        if mu > 0.0 && Float.is_finite v.(p) then begin
+          let j = plan.par_edge.(idx) in
+          acc := !acc +. (ac *. w.(j));
+          accd := !accd +. (adc *. w.(j)) +. (ac *. wd.(j))
+        end
+        else if plan.par_edge.(idx) = rev_sel t ws p then begin
+          acc := !acc +. ac;
+          accd := !accd +. adc
+        end
+      end
+      else begin
+        (* op_scale *)
+        acc := !acc +. (a *. t.c.(p));
+        accd := !accd +. (ad *. t.c.(p))
+      end
+    end
+  done;
+  adj.(k) <- !acc;
+  adjd.(k) <- !accd
+
+let eval_pool ?(mu = 0.0) t pool ws x =
+  check_dim "eval_pool" t x;
+  let nd = Domain_pool.size pool in
+  if nd <= 1 then forward ~mu ~weights:false t ws x
+  else begin
+    let plan = plan_of t in
+    let bar = get_barrier ws nd in
+    Domain_pool.run pool (fun di ->
+        let (_ : bool) =
+          sweep_levels plan bar nd di ~descending:false ~prev:true
+            (fun a b ->
+              for idx = a to b - 1 do
+                forward_slot ~mu ~weights:false t ws x plan.level_slots.(idx)
+              done)
+        in
+        ());
+    ws.v.(t.root)
+  end
+
+let eval_grad_pool ?(mu = 0.0) t pool ws ~x ~grad =
+  check_dim "eval_grad_pool" t x;
+  if Vec.dim grad <> Vec.dim x then
+    invalid_arg "Tape.eval_grad_pool: grad/x dimension mismatch";
+  let nd = Domain_pool.size pool in
+  if nd <= 1 then eval_grad ~mu t ws ~x ~grad
+  else begin
+    let plan = plan_of t in
+    let bar = get_barrier ws nd in
+    Array.fill grad 0 (Vec.dim grad) 0.0;
+    let nv = t.n_vars in
+    Domain_pool.run pool (fun di ->
+        let prev =
+          sweep_levels plan bar nd di ~descending:false ~prev:true
+            (fun a b ->
+              for idx = a to b - 1 do
+                forward_slot ~mu ~weights:true t ws x plan.level_slots.(idx)
+              done)
+        in
+        let prev =
+          sweep_levels plan bar nd di ~descending:true ~prev
+            (fun a b ->
+              for idx = a to b - 1 do
+                adj_gather ~mu t plan ws plan.level_slots.(idx)
+              done)
+        in
+        var_phase bar nd di ~prev ~count:nv (fun a b ->
+            let v = ws.v and adj = ws.adj in
+            for i = a to b - 1 do
+              let acc = ref 0.0 in
+              for idx = plan.vin_off.(i) to plan.vin_off.(i + 1) - 1 do
+                let k = plan.vterm_slot.(idx) in
+                let a = adj.(k) in
+                if a <> 0.0 then
+                  acc :=
+                    !acc +. (a *. t.term_expt.(plan.vterm_entry.(idx)) *. v.(k))
+              done;
+              grad.(i) <- !acc
+            done));
+    ws.v.(t.root)
+  end
+
+let eval_hvp_pool ?(mu = 0.0) t pool ws ~x ~dx ~grad ~hvp =
+  check_dim "eval_hvp_pool" t x;
+  if Vec.dim dx <> Vec.dim x then
+    invalid_arg "Tape.eval_hvp_pool: dx/x dimension mismatch";
+  if Vec.dim grad <> Vec.dim x || Vec.dim hvp <> Vec.dim x then
+    invalid_arg "Tape.eval_hvp_pool: grad/hvp/x dimension mismatch";
+  let nd = Domain_pool.size pool in
+  if nd <= 1 then eval_hvp ~mu t ws ~x ~dx ~grad ~hvp
+  else begin
+    ws.mask_valid <- false;
+    let plan = plan_of t in
+    let bar = get_barrier ws nd in
+    Array.fill grad 0 (Vec.dim grad) 0.0;
+    Array.fill hvp 0 (Vec.dim hvp) 0.0;
+    let nv = t.n_vars in
+    Domain_pool.run pool (fun di ->
+        let prev =
+          sweep_levels plan bar nd di ~descending:false ~prev:true
+            (fun a b ->
+              for idx = a to b - 1 do
+                forward_tangent_slot ~mu t ws x dx plan.level_slots.(idx)
+              done)
+        in
+        let prev =
+          sweep_levels plan bar nd di ~descending:true ~prev
+            (fun a b ->
+              for idx = a to b - 1 do
+                adjd_gather ~mu t plan ws plan.level_slots.(idx)
+              done)
+        in
+        var_phase bar nd di ~prev ~count:nv (fun a b ->
+            let v = ws.v and adj = ws.adj in
+            let vd = ws.vd and adjd = ws.adjd in
+            for i = a to b - 1 do
+              let gacc = ref 0.0 and hacc = ref 0.0 in
+              for idx = plan.vin_off.(i) to plan.vin_off.(i + 1) - 1 do
+                let k = plan.vterm_slot.(idx) in
+                let a = adj.(k) in
+                let ad = adjd.(k) in
+                if a <> 0.0 || ad <> 0.0 then begin
+                  let e = t.term_expt.(plan.vterm_entry.(idx)) in
+                  gacc := !gacc +. (a *. e *. v.(k));
+                  hacc := !hacc +. (e *. ((ad *. v.(k)) +. (a *. vd.(k))))
+                end
+              done;
+              grad.(i) <- !gacc;
+              hvp.(i) <- !hacc
+            done));
+    ws.v.(t.root)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Masked HVPs on the active face                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Flag bits in [ws.flags]. *)
+let f_active = '\001' (* value tangent can be nonzero *)
+
+let f_adjt = '\002' (* adjoint tangent can be nonzero *)
+
+let flag_has b f = Char.code b land Char.code f <> 0
+
+let flag_add b f = Char.chr (Char.code b lor Char.code f)
+
+let hvp_mask ?(mu = 0.0) t ws ~free =
+  if Array.length free < t.n_vars then
+    invalid_arg "Tape.hvp_mask: free/x dimension mismatch";
+  (* The index sets depend only on the free set, the sign of [mu] and
+     tape structure (a max value is non-finite exactly when its child
+     segment is empty — a structural fact), not on the current point,
+     so a rebuild for the same [free] and [mu] is the identity: skip
+     it.  The zero-tangent invariant also still holds, because the only
+     sweeps that write tangents between masks are the masked ones
+     themselves, which stay inside the sets ({!eval_hvp} writes them
+     everywhere and invalidates).  This makes the per-outer-iteration
+     re-mask of a Newton stage with an unchanged active face free. *)
+  let same_free () =
+    let same = ref true in
+    let i = ref 0 in
+    while !same && !i < t.n_vars do
+      if Array.unsafe_get free !i <> Array.unsafe_get ws.mask_free !i then
+        same := false;
+      incr i
+    done;
+    !same
+  in
+  if ws.mask_valid && ws.mask_mu = mu && same_free () then ()
+  else begin
+  let n = Array.length t.op in
+  let flags = ws.flags in
+  Bytes.fill flags 0 n '\000';
+  ws.mask_mu <- mu;
+  (* Upward closure: slots whose value depends on a free variable.
+     Only these can carry a nonzero value tangent. *)
+  let na = ref 0 in
+  for k = 0 to n - 1 do
+    let o = t.op.(k) in
+    let act =
+      if o = op_term then begin
+        let any = ref false in
+        let j = ref t.lo.(k) in
+        while (not !any) && !j < t.hi.(k) do
+          if free.(t.term_var.(!j)) then any := true;
+          incr j
+        done;
+        !any
+      end
+      else if o = op_sum || o = op_max then begin
+        let any = ref false in
+        let j = ref t.lo.(k) in
+        while (not !any) && !j < t.hi.(k) do
+          if flag_has (Bytes.get flags t.child.(!j)) f_active then any := true;
+          incr j
+        done;
+        !any
+      end
+      else if o = op_scale then
+        flag_has (Bytes.get flags t.lo.(k)) f_active
+      else false
+    in
+    if act then begin
+      Bytes.set flags k (flag_add (Bytes.get flags k) f_active);
+      ws.active.(!na) <- k;
+      incr na
+    end
+  done;
+  ws.n_active <- !na;
+  (* Downward closure of adjoint-tangent flow: smoothed maxima that
+     depend on a free variable inject curvature into ALL their
+     branches (the softmax weights shift together); from there the
+     tangent adjoint propagates through children like the adjoint. *)
+  if mu > 0.0 then
+    for k = n - 1 downto 0 do
+      let b = Bytes.get flags k in
+      let o = t.op.(k) in
+      if o = op_max then begin
+        if
+          (flag_has b f_active || flag_has b f_adjt)
+          && Float.is_finite ws.v.(k)
+        then
+          for j = t.lo.(k) to t.hi.(k) - 1 do
+            let ch = t.child.(j) in
+            Bytes.set flags ch (flag_add (Bytes.get flags ch) f_adjt)
+          done
+        else if flag_has b f_adjt then begin
+          (* Kink even at mu > 0 (infinite value): selected branch. *)
+          let j = rev_sel t ws k in
+          if j >= t.lo.(k) then begin
+            let ch = t.child.(j) in
+            Bytes.set flags ch (flag_add (Bytes.get flags ch) f_adjt)
+          end
+        end
+      end
+      else if flag_has b f_adjt then begin
+        if o = op_sum then
+          for j = t.lo.(k) to t.hi.(k) - 1 do
+            let ch = t.child.(j) in
+            Bytes.set flags ch (flag_add (Bytes.get flags ch) f_adjt)
+          done
+        else if o = op_scale then begin
+          let ch = t.lo.(k) in
+          Bytes.set flags ch (flag_add (Bytes.get flags ch) f_adjt)
+        end
+      end
+    done;
+  (* At mu <= 0 maxima are piecewise linear: the branch indicator is
+     locally constant, nothing seeds an adjoint tangent, and the
+     closure stays empty — the masked HVP is the Hessian of the active
+     piece swept over the active slots alone. *)
+  let nu = ref 0 in
+  for k = 0 to n - 1 do
+    if Bytes.get flags k <> '\000' then begin
+      ws.union.(!nu) <- k;
+      incr nu
+    end
+  done;
+  ws.n_union <- !nu;
+  (* Stale tangents from earlier sweeps must read as zero wherever the
+     masked sweeps skip writing. *)
+  Array.fill ws.vd 0 n 0.0;
+  Array.fill ws.adjd 0 n 0.0;
+  Array.fill ws.wd 0 (Array.length ws.wd) 0.0;
+  Array.blit free 0 ws.mask_free 0 t.n_vars;
+  ws.mask_valid <- true
+  end
+
+let hvp_masked t ws ~x ~dx ~hvp =
+  check_dim "hvp_masked" t x;
+  if Vec.dim dx <> Vec.dim x then
+    invalid_arg "Tape.hvp_masked: dx/x dimension mismatch";
+  if Vec.dim hvp <> Vec.dim x then
+    invalid_arg "Tape.hvp_masked: hvp/x dimension mismatch";
+  let mu = ws.mask_mu in
+  let v = ws.v and adj = ws.adj and w = ws.w in
+  let vd = ws.vd and adjd = ws.adjd and wd = ws.wd in
+  let opa = t.op and loa = t.lo and hia = t.hi and ca = t.c in
+  let tv = t.term_var and te = t.term_expt and ch = t.child in
+  let active = ws.active and union = ws.union and sel = ws.sel in
+  (* Tangent forward over the active slots only; [v], [w] and [sel]
+     are reused from the preceding {!eval_grad} at the same point. *)
+  for ai = 0 to ws.n_active - 1 do
+    let k = active.%(ai) in
+    let o = opa.%(k) in
+    if o = op_term then begin
+      let accd = ref 0.0 in
+      for j = loa.%(k) to hia.%(k) - 1 do
+        accd := !accd +. (te.%(j) *. dx.%(tv.%(j)))
+      done;
+      vd.%(k) <- v.%(k) *. !accd
+    end
+    else if o = op_sum then begin
+      let accd = ref 0.0 in
+      for j = loa.%(k) to hia.%(k) - 1 do
+        accd := !accd +. vd.%(ch.%(j))
+      done;
+      vd.%(k) <- !accd
+    end
+    else if o = op_max then begin
+      if mu > 0.0 && Float.is_finite v.%(k) then begin
+        let d = ref 0.0 in
+        for j = loa.%(k) to hia.%(k) - 1 do
+          d := !d +. (w.%(j) *. vd.%(ch.%(j)))
+        done;
+        (* [wd] uses the unscaled log-sum-exp tangent [d]; the fused
+           factor scales the slot's own outgoing tangent. *)
+        for j = loa.%(k) to hia.%(k) - 1 do
+          wd.%(j) <- w.%(j) *. (vd.%(ch.%(j)) -. !d) /. mu
+        done;
+        vd.%(k) <- ca.%(k) *. !d
+      end
+      else
+        vd.%(k) <-
+          ca.%(k) *. (if sel.%(k) >= 0 then vd.%(ch.%(sel.%(k))) else 0.0)
+    end
+    else if o = op_scale then vd.%(k) <- ca.%(k) *. vd.%(loa.%(k))
+    else vd.%(k) <- 0.0
+  done;
+  (* Reverse scatter over the union, descending (the union list is
+     ascending): the adjoint [adj] is read-only here, only the adjoint
+     tangents accumulate.  Same expressions and guards as
+     {!eval_hvp}. *)
+  for ui = ws.n_union - 1 downto 0 do
+    adjd.%(union.%(ui)) <- 0.0
+  done;
+  Array.fill hvp 0 (Vec.dim hvp) 0.0;
+  for ui = ws.n_union - 1 downto 0 do
+    let k = union.%(ui) in
+    let a = adj.%(k) in
+    let ad = adjd.%(k) in
+    if a <> 0.0 || ad <> 0.0 then begin
+      let o = opa.%(k) in
+      if o = op_term then
+        for j = loa.%(k) to hia.%(k) - 1 do
+          let i = tv.%(j) in
+          let e = te.%(j) in
+          hvp.%(i) <- hvp.%(i) +. (e *. ((ad *. v.%(k)) +. (a *. vd.%(k))))
+        done
+      else if o = op_sum then
+        for j = loa.%(k) to hia.%(k) - 1 do
+          let cj = ch.%(j) in
+          adjd.%(cj) <- adjd.%(cj) +. ad
+        done
+      else if o = op_max then begin
+        let ac = a *. ca.%(k) in
+        let adc = ad *. ca.%(k) in
+        if mu > 0.0 && Float.is_finite v.%(k) then
+          for j = loa.%(k) to hia.%(k) - 1 do
+            let cj = ch.%(j) in
+            adjd.%(cj) <- adjd.%(cj) +. (adc *. w.%(j)) +. (ac *. wd.%(j))
+          done
+        else begin
+          let j = rev_sel t ws k in
+          if j >= loa.%(k) then begin
+            let cj = ch.%(j) in
+            adjd.%(cj) <- adjd.%(cj) +. adc
+          end
+        end
+      end
+      else if o = op_scale then begin
+        let cj = loa.%(k) in
+        adjd.%(cj) <- adjd.%(cj) +. (ad *. ca.%(k))
+      end
+      (* op_const: nothing *)
+    end
+  done
+
+let mask_active ws = ws.n_active
+
+let mask_union ws = ws.n_union
+
+(* ------------------------------------------------------------------ *)
+(* Gauss–Newton diagonal                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Diagonal of the Gauss–Newton part of the Hessian at the point of
+   the last {!eval_grad}: each posynomial term contributes
+   adj_k · v_k · e_i² to coordinate i, which is the exact diagonal of
+   sum_k adj_k ∇²v_k.  The smoothed-max coupling curvature is dropped,
+   so the result {e underestimates} the true diagonal on coordinates
+   whose curvature lives in a max — consumers must floor it
+   ({!Precond.jacobi_clamp}) or the Jacobi inverse over-amplifies
+   exactly those coordinates. *)
+let hess_diag t ws ~diag =
+  check_dim "hess_diag" t diag;
+  Array.fill diag 0 (Vec.dim diag) 0.0;
+  let opa = t.op and loa = t.lo and hia = t.hi in
+  let tv = t.term_var and te = t.term_expt in
+  let v = ws.v and adj = ws.adj in
+  let n = Array.length opa in
+  for k = 0 to n - 1 do
+    if opa.%(k) = op_term then begin
+      let a = adj.%(k) in
+      if a <> 0.0 then begin
+        let av = a *. v.%(k) in
+        for j = loa.%(k) to hia.%(k) - 1 do
+          let e = te.%(j) in
+          let i = tv.%(j) in
+          diag.%(i) <- diag.%(i) +. (av *. e *. e)
+        done
+      end
+    end
+  done

@@ -54,6 +54,16 @@ val eval : ?mu:float -> t -> workspace -> Numeric.Vec.t -> float
 (** Forward sweep; equals {!Expr.eval}[ ~mu root x].  Raises
     [Invalid_argument] if [x] is shorter than {!n_vars}. *)
 
+val root_branches : t -> workspace -> float array
+(** When the tape's root is a max: the values of its branches (with
+    the root's fused scale factor applied) as left in [workspace] by
+    the {e last} forward sweep — call {!eval} at the point (and [mu])
+    of interest first.  Branches appear in construction order, so for
+    an objective built as [max_ [a; b]] the result is [[| v_a; v_b |]].
+    Returns [[||]] when the root is not a max (after simplification).
+    Note the branches of a [mu > 0] sweep are themselves smoothed if
+    they contain inner maxima. *)
+
 val eval_grad :
   ?mu:float -> t -> workspace -> x:Numeric.Vec.t -> grad:Numeric.Vec.t -> float
 (** Forward + reverse sweep.  Overwrites [grad] (which must have the
@@ -83,3 +93,95 @@ val eval_hvp :
     max differentiates through its first maximising branch, matching
     the subgradient tie-break), which is the generalised Hessian used
     by the solver's final polishing stage. *)
+
+(** {1 Parallel level-scheduled sweeps}
+
+    The tape's topological order induces a level schedule: slots of
+    equal depth are mutually independent, so each level can be swept
+    by several OCaml domains at once.  The reverse sweeps are
+    parallelised by {e gathering} each slot's adjoint from its parents
+    (via a transpose built once per tape) instead of scattering, with
+    the incoming edges ordered so every per-slot accumulation replays
+    the serial sweep's additions in the same order — results are
+    bit-identical to the serial entry points.  Narrow levels run on
+    the calling domain only, so small tapes pay one pool handoff and
+    nothing else; with a pool of size 1 these are exactly the serial
+    sweeps. *)
+
+val num_levels : t -> int
+(** Depth of the level schedule (longest instruction chain).  Builds
+    the schedule on first use; the plan is cached in the tape. *)
+
+val eval_pool :
+  ?mu:float -> t -> Numeric.Domain_pool.t -> workspace -> Numeric.Vec.t -> float
+(** {!eval} swept by the pool's domains, bit-identical to {!eval}. *)
+
+val eval_grad_pool :
+  ?mu:float ->
+  t ->
+  Numeric.Domain_pool.t ->
+  workspace ->
+  x:Numeric.Vec.t ->
+  grad:Numeric.Vec.t ->
+  float
+(** {!eval_grad} swept by the pool's domains, bit-identical to it. *)
+
+val eval_hvp_pool :
+  ?mu:float ->
+  t ->
+  Numeric.Domain_pool.t ->
+  workspace ->
+  x:Numeric.Vec.t ->
+  dx:Numeric.Vec.t ->
+  grad:Numeric.Vec.t ->
+  hvp:Numeric.Vec.t ->
+  float
+(** {!eval_hvp} swept by the pool's domains, bit-identical to it. *)
+
+(** {1 Masked Hessian-vector products}
+
+    Inside projected Newton-CG most coordinates are frozen on box
+    faces: tangents enter only through the free coordinates, so most
+    of the tape is dead in the HVP's forward-tangent sweep, and (at
+    [mu <= 0], where maxima differentiate through one branch) in the
+    reverse sweep too.  [hvp_mask] computes, for the current free set,
+    the {e active} slots (those whose value depends on a free
+    variable) and the {e union} with the slots reachable by adjoint
+    tangents; [hvp_masked] then sweeps only those slots.  Results
+    equal {!eval_hvp}'s [hvp] on the free coordinates (up to the sign
+    of exact zeros); frozen coordinates are returned as zero.
+
+    Protocol: call {!eval_grad} at the point [x] with the same [mu],
+    then [hvp_mask], then any number of [hvp_masked] calls — with no
+    other sweep through the same workspace in between ([hvp_masked]
+    reuses the values, softmax weights, adjoints and max selections
+    the gradient sweep left behind). *)
+
+val hvp_mask : ?mu:float -> t -> workspace -> free:bool array -> unit
+(** Prepare the mask for the given free set.  [free] must cover all
+    tape variables.  Requires a preceding {!eval_grad} with the same
+    [mu] on this workspace. *)
+
+val hvp_masked :
+  t ->
+  workspace ->
+  x:Numeric.Vec.t ->
+  dx:Numeric.Vec.t ->
+  hvp:Numeric.Vec.t ->
+  unit
+(** Overwrite [hvp] with [H(x)·dx] restricted to the mask's free
+    coordinates.  [x] must be the point of the preparing
+    {!eval_grad}.  O(active ∪ reachable) per call. *)
+
+val mask_active : workspace -> int
+(** Slots swept by the masked forward tangent (diagnostics). *)
+
+val mask_union : workspace -> int
+(** Slots swept by the masked reverse pass (diagnostics). *)
+
+val hess_diag : t -> workspace -> diag:Numeric.Vec.t -> unit
+(** Overwrite [diag] with the Gauss–Newton diagonal of the Hessian at
+    the point of the last {!eval_grad} on this workspace: each
+    posynomial term contributes [adj·v·e²] per coordinate; the
+    (PSD) smoothed-max curvature is dropped.  Basis of the solver's
+    Jacobi preconditioner. *)

@@ -103,33 +103,40 @@ let solve ?options ?(engine = `Tape) ?obs ?x0 params g ~procs =
   (* Compile the objective to a flat tape once and drive both the
      solve and the exact Φ evaluation through it; [`Reference] keeps
      the DAG-walking path callable for consistency checks. *)
-  let solver_engine, eval_obj =
+  let solver_engine, eval_obj, branches =
     match engine with
     | `Tape ->
         let c = Convex.Solver.compile ?obs obj in
         ( Convex.Solver.Precompiled c,
-          fun x -> Convex.Solver.eval_compiled c x )
+          (fun x -> Convex.Solver.eval_compiled c x),
+          fun () -> Convex.Solver.compiled_branches c )
     | `Precompiled c ->
         (* A tape-cache hit: the caller compiled (or retrieved) the
-           tape for exactly this (params, graph, procs) problem.  The
-           freshly built [obj] is only used for the A_p/C_p component
-           evaluations below. *)
+           tape for exactly this (params, graph, procs) problem. *)
         ( Convex.Solver.Precompiled c,
-          fun x -> Convex.Solver.eval_compiled c x )
-    | `Reference -> (Convex.Solver.Reference, fun x -> E.eval obj x)
+          (fun x -> Convex.Solver.eval_compiled c x),
+          fun () -> Convex.Solver.compiled_branches c )
+    | `Reference ->
+        (Convex.Solver.Reference, (fun x -> E.eval obj x), fun () -> [||])
   in
   let solver =
     Convex.Solver.solve ?options ~engine:solver_engine ?obs ?x0
       { objective = obj; lo; hi }
   in
   let alloc = Array.map exp solver.x in
-  {
-    alloc;
-    phi = eval_obj solver.x;
-    average = E.eval avg solver.x;
-    critical_path = E.eval cp solver.x;
-    solver;
-  }
+  (* The exact (mu = 0) Φ sweep just computed A_p and C_p on its way
+     to the root max; read them off the tape instead of re-walking the
+     expression DAG — two DAG evals cost more than the whole tape
+     sweep on deep MDGs.  [branches] is in [max_] construction order,
+     i.e. [avg] then [cp]; the Reference engine (and a root collapsed
+     by simplification) falls back to the DAG walk. *)
+  let phi = eval_obj solver.x in
+  let average, critical_path =
+    match branches () with
+    | [| a; c |] -> (a, c)
+    | _ -> (E.eval avg solver.x, E.eval cp solver.x)
+  in
+  { alloc; phi; average; critical_path; solver }
 
 let evaluate params g ~procs ~alloc =
   check params g ~procs;

@@ -5,6 +5,7 @@ type stats = {
   tape_misses : int;
   warm_hits : int;
   warm_shape_hits : int;
+  warm_procs_hits : int;
   warm_misses : int;
   tape_entries : int;
   warm_entries : int;
@@ -14,19 +15,18 @@ type warm_hit = Exact of Allocation.result | Seed of Numeric.Vec.t
 
 type t = {
   lock : Mutex.t;
-  max_tapes : int;
-  max_warm : int;
-  tapes : (key, Convex.Solver.compiled) Hashtbl.t;
-  tape_order : key Queue.t;
-  warm_exact : (key, Allocation.result) Hashtbl.t;
-  warm_order : key Queue.t;
-  (* Latest optimum per (graph_hash, procs) shape, whatever the
-     fingerprint — the near-duplicate seed. *)
-  warm_shape : (int64 * int, Numeric.Vec.t) Hashtbl.t;
+  tapes : (key, Convex.Solver.compiled) Lru.t;
+  warm_exact : (key, Allocation.result) Lru.t;
+  (* Latest optimum per graph shape, per machine size: the nested
+     [procs] map is what makes a different-[procs] request on a known
+     shape answerable (by rescaling the nearest stored optimum) rather
+     than a cold miss. *)
+  warm_shape : (int64, (int, Numeric.Vec.t) Hashtbl.t) Hashtbl.t;
   mutable tape_hits : int;
   mutable tape_misses : int;
   mutable warm_hits : int;
   mutable warm_shape_hits : int;
+  mutable warm_procs_hits : int;
   mutable warm_misses : int;
 }
 
@@ -35,28 +35,23 @@ let create ?(max_tapes = 64) ?(max_warm = 512) () =
     invalid_arg "Plan_cache.create: bounds must be >= 1";
   {
     lock = Mutex.create ();
-    max_tapes;
-    max_warm;
-    tapes = Hashtbl.create 32;
-    tape_order = Queue.create ();
-    warm_exact = Hashtbl.create 64;
-    warm_order = Queue.create ();
+    tapes = Lru.create max_tapes;
+    warm_exact = Lru.create max_warm;
     warm_shape = Hashtbl.create 32;
     tape_hits = 0;
     tape_misses = 0;
     warm_hits = 0;
     warm_shape_hits = 0;
+    warm_procs_hits = 0;
     warm_misses = 0;
   }
 
 let locked t f = Mutex.protect t.lock f
 
-let shape_of key = (key.graph_hash, key.procs)
-
 let tape t key ~compile =
   let cached =
     locked t (fun () ->
-        match Hashtbl.find_opt t.tapes key with
+        match Lru.find t.tapes key with
         | Some c ->
             t.tape_hits <- t.tape_hits + 1;
             Some c
@@ -73,12 +68,8 @@ let tape t key ~compile =
          and the second insertion is dropped. *)
       let c = compile () in
       locked t (fun () ->
-          if not (Hashtbl.mem t.tapes key) then begin
-            if Queue.length t.tape_order >= t.max_tapes then
-              Hashtbl.remove t.tapes (Queue.pop t.tape_order);
-            Hashtbl.add t.tapes key c;
-            Queue.add key t.tape_order
-          end);
+          if not (Lru.mem t.tapes key) then
+            ignore (Lru.set t.tapes key c : (key * _) option));
       (c, `Miss)
 
 (* Private copies both ways: cached optima must not alias arrays the
@@ -90,41 +81,81 @@ let copy_result (r : Allocation.result) =
     solver = { r.solver with x = Array.copy r.solver.x };
   }
 
+(* Rescale an optimum stored for [p] processors to [p'] in log space:
+   every allocation is shifted by log(p'/p) — the same share of the new
+   machine — then clamped into the new box [0, log p'].  A directional
+   heuristic only; the caller still gates the seed through the solver's
+   warm-start probe. *)
+let rescale_seed x ~from_procs ~to_procs =
+  let shift = log (float_of_int to_procs /. float_of_int from_procs) in
+  let hi = log (float_of_int to_procs) in
+  Array.map (fun v -> Float.min hi (Float.max 0.0 (v +. shift))) x
+
 let warm t key =
   locked t (fun () ->
-      match Hashtbl.find_opt t.warm_exact key with
+      match Lru.find t.warm_exact key with
       | Some r ->
           t.warm_hits <- t.warm_hits + 1;
           Some (Exact (copy_result r))
       | None -> (
-          match Hashtbl.find_opt t.warm_shape (shape_of key) with
-          | Some x ->
-              t.warm_shape_hits <- t.warm_shape_hits + 1;
-              Some (Seed (Array.copy x))
+          match Hashtbl.find_opt t.warm_shape key.graph_hash with
           | None ->
               t.warm_misses <- t.warm_misses + 1;
-              None))
+              None
+          | Some by_procs -> (
+              match Hashtbl.find_opt by_procs key.procs with
+              | Some x ->
+                  t.warm_shape_hits <- t.warm_shape_hits + 1;
+                  Some (Seed (Array.copy x))
+              | None ->
+                  (* Same shape at a different machine size: seed from
+                     the stored optimum with the nearest procs ratio
+                     (ties towards the larger machine). *)
+                  let best =
+                    Hashtbl.fold
+                      (fun p x acc ->
+                        let d =
+                          Float.abs
+                            (log (float_of_int key.procs /. float_of_int p))
+                        in
+                        match acc with
+                        | Some (dp, p', _) when d > dp || (d = dp && p < p')
+                          ->
+                            acc
+                        | _ -> Some (d, p, x))
+                      by_procs None
+                  in
+                  (match best with
+                  | Some (_, p, x) ->
+                      t.warm_procs_hits <- t.warm_procs_hits + 1;
+                      Some
+                        (Seed
+                           (rescale_seed x ~from_procs:p ~to_procs:key.procs))
+                  | None ->
+                      t.warm_misses <- t.warm_misses + 1;
+                      None))))
 
 let tape_cached t key =
   locked t (fun () ->
-      let resident = Hashtbl.mem t.tapes key in
+      let resident = Lru.mem t.tapes key in
       if resident then t.tape_hits <- t.tape_hits + 1;
       resident)
 
 let store_warm t key result =
   let result = copy_result result in
   locked t (fun () ->
-      if not (Hashtbl.mem t.warm_exact key) then begin
-        if Queue.length t.warm_order >= t.max_warm then begin
-          let old = Queue.pop t.warm_order in
-          Hashtbl.remove t.warm_exact old;
-          (* The shape seed may outlive its exact entry; that is fine —
-             it is only ever a starting point. *)
-        end;
-        Queue.add key t.warm_order
-      end;
-      Hashtbl.replace t.warm_exact key result;
-      Hashtbl.replace t.warm_shape (shape_of key) result.solver.x)
+      ignore (Lru.set t.warm_exact key result : (key * _) option);
+      (* The shape seed may outlive its exact entry; that is fine — it
+         is only ever a starting point. *)
+      let by_procs =
+        match Hashtbl.find_opt t.warm_shape key.graph_hash with
+        | Some h -> h
+        | None ->
+            let h = Hashtbl.create 4 in
+            Hashtbl.add t.warm_shape key.graph_hash h;
+            h
+      in
+      Hashtbl.replace by_procs key.procs result.solver.x)
 
 let stats t =
   locked t (fun () ->
@@ -133,20 +164,20 @@ let stats t =
         tape_misses = t.tape_misses;
         warm_hits = t.warm_hits;
         warm_shape_hits = t.warm_shape_hits;
+        warm_procs_hits = t.warm_procs_hits;
         warm_misses = t.warm_misses;
-        tape_entries = Hashtbl.length t.tapes;
-        warm_entries = Hashtbl.length t.warm_exact;
+        tape_entries = Lru.length t.tapes;
+        warm_entries = Lru.length t.warm_exact;
       })
 
 let clear t =
   locked t (fun () ->
-      Hashtbl.reset t.tapes;
-      Hashtbl.reset t.warm_exact;
+      Lru.clear t.tapes;
+      Lru.clear t.warm_exact;
       Hashtbl.reset t.warm_shape;
-      Queue.clear t.tape_order;
-      Queue.clear t.warm_order;
       t.tape_hits <- 0;
       t.tape_misses <- 0;
       t.warm_hits <- 0;
       t.warm_shape_hits <- 0;
+      t.warm_procs_hits <- 0;
       t.warm_misses <- 0)

@@ -15,7 +15,12 @@
       re-entered at all — while a near-duplicate (same shape,
       perturbed constants) re-solves seeded at the cached optimum and
       skips the smoothing anneal when the warm-start probe allows it
-      ({!Convex.Solver.solve}).
+      ({!Convex.Solver.solve}).  A known shape requested at a {e new}
+      machine size seeds from the stored optimum with the nearest
+      procs ratio, rescaled by [log(p'/p)] in the log-space
+      allocation and clamped into the new box — a directional guess
+      the solver's warm-start probe then vets, which turns per-[procs]
+      sweeps over one program into shape hits instead of cold misses.
 
     Keys use {!Mdg.Graph.structural_hash} and
     {!Costmodel.Params.fingerprint}; because the structural hash
@@ -24,11 +29,11 @@
 
     All operations are thread-safe (one internal mutex; compilation
     itself happens outside the lock).  Entry counts are bounded;
-    insertion beyond the bound evicts the oldest entry (FIFO), which
-    matches the serving pattern — a retired request mix simply ages
-    out.  Typically one cache is created per server (or per benchmark
-    sweep) and passed to {!Pipeline.plan} via
-    {!Pipeline.config.cache}. *)
+    insertion beyond the bound evicts the {e least recently used}
+    entry ({!Lru}), so a hot working set survives a burst of one-off
+    requests that a FIFO would have let push it out.  Typically one
+    cache is created per server (or per benchmark sweep) and passed to
+    {!Pipeline.plan} via {!Pipeline.config.cache}. *)
 
 type t
 
@@ -38,7 +43,8 @@ type stats = {
   tape_hits : int;
   tape_misses : int;
   warm_hits : int;       (** exact-key warm hits *)
-  warm_shape_hits : int; (** same-shape, different-fingerprint hits *)
+  warm_shape_hits : int; (** same-shape, same-procs, different-fingerprint hits *)
+  warm_procs_hits : int; (** same-shape, different-procs rescaled hits *)
   warm_misses : int;
   tape_entries : int;
   warm_entries : int;
@@ -66,7 +72,10 @@ type warm_hit =
           reproduce it).  Arrays are private copies. *)
   | Seed of Numeric.Vec.t
       (** The most recent log-space optimum of the same [(hash, procs)]
-          shape under any fingerprint — a starting point only. *)
+          shape under any fingerprint — or, when the shape has only
+          been solved at other machine sizes, the nearest-procs
+          optimum rescaled by [log(p'/p)] and clamped into the new
+          box.  A starting point only. *)
 
 val warm : t -> key -> warm_hit option
 

@@ -1,0 +1,199 @@
+(* Long-lived fork-join pools over OCaml 5 domains.
+
+   A pool of [size] participants is the caller's domain plus [size-1]
+   worker domains parked on a condition variable.  [run] publishes one
+   job (an [int -> unit] indexed by participant), runs index 0 on the
+   calling domain, and joins.  Workers survive across jobs, so the
+   per-job cost is one broadcast and one join — no domain spawning on
+   any hot path.
+
+   [barrier] is the intra-job synchroniser for level-scheduled sweeps:
+   a sense-reversing barrier that spins briefly (the common case when
+   every participant has its own core and levels are short) and falls
+   back to the condition variable when a participant is descheduled —
+   essential when domains outnumber cores, as they do in CI runs that
+   force PARADIGM_DOMAINS=4 onto two-core machines. *)
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  cond : Condition.t;  (* workers wait here for a new epoch *)
+  done_cond : Condition.t;  (* [run] waits here for workers to finish *)
+  mutable epoch : int;
+  mutable job : int -> unit;
+  mutable finished : int;  (* workers done with the current epoch *)
+  mutable error : exn option;  (* first exception raised by any participant *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+let record_error t exn =
+  Mutex.protect t.lock (fun () ->
+      if t.error = None then t.error <- Some exn)
+
+let worker t i =
+  let last = ref 0 in
+  let rec loop () =
+    let job =
+      Mutex.protect t.lock (fun () ->
+          while t.epoch = !last && not t.stop do
+            Condition.wait t.cond t.lock
+          done;
+          if t.stop then None
+          else begin
+            last := t.epoch;
+            Some t.job
+          end)
+    in
+    match job with
+    | None -> ()
+    | Some f ->
+        (try f i with exn -> record_error t exn);
+        Mutex.protect t.lock (fun () ->
+            t.finished <- t.finished + 1;
+            if t.finished = t.size - 1 then Condition.broadcast t.done_cond);
+        loop ()
+  in
+  loop ()
+
+let create ~size =
+  if size < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
+  let t =
+    {
+      size;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      done_cond = Condition.create ();
+      epoch = 0;
+      job = ignore;
+      finished = 0;
+      error = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let shutdown t =
+  let joinable =
+    Mutex.protect t.lock (fun () ->
+        if t.stop then []
+        else begin
+          t.stop <- true;
+          Condition.broadcast t.cond;
+          t.domains
+        end)
+  in
+  List.iter Domain.join joinable;
+  if joinable <> [] then t.domains <- []
+
+let run t f =
+  if t.size = 1 then f 0
+  else begin
+    Mutex.protect t.lock (fun () ->
+        if t.stop then invalid_arg "Domain_pool.run: pool is shut down";
+        t.job <- f;
+        t.finished <- 0;
+        t.error <- None;
+        t.epoch <- t.epoch + 1;
+        Condition.broadcast t.cond);
+    (try f 0 with exn -> record_error t exn);
+    Mutex.protect t.lock (fun () ->
+        while t.finished < t.size - 1 do
+          Condition.wait t.done_cond t.lock
+        done);
+    match t.error with
+    | Some exn ->
+        t.error <- None;
+        raise exn
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shared pools                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One pool per requested size, created on first use and kept for the
+   process lifetime (worker domains park between jobs).  [at_exit]
+   joins them so binaries terminate cleanly. *)
+let shared_lock = Mutex.create ()
+
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shutdown_shared () =
+  let pools =
+    Mutex.protect shared_lock (fun () ->
+        let ps = Hashtbl.fold (fun _ p acc -> p :: acc) shared_pools [] in
+        Hashtbl.reset shared_pools;
+        ps)
+  in
+  List.iter shutdown pools
+
+let exit_hook_installed = ref false
+
+let shared ~size =
+  if size < 1 then invalid_arg "Domain_pool.shared: size must be >= 1";
+  Mutex.protect shared_lock (fun () ->
+      match Hashtbl.find_opt shared_pools size with
+      | Some p -> p
+      | None ->
+          if not !exit_hook_installed then begin
+            exit_hook_installed := true;
+            at_exit shutdown_shared
+          end;
+          let p = create ~size in
+          Hashtbl.add shared_pools size p;
+          p)
+
+(* ------------------------------------------------------------------ *)
+(* Barriers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type barrier = {
+  parties : int;
+  count : int Atomic.t;
+  gen : int Atomic.t;
+  block : Mutex.t;
+  released : Condition.t;
+}
+
+let barrier parties =
+  if parties < 1 then invalid_arg "Domain_pool.barrier: parties must be >= 1";
+  {
+    parties;
+    count = Atomic.make 0;
+    gen = Atomic.make 0;
+    block = Mutex.create ();
+    released = Condition.create ();
+  }
+
+(* Spin budget before parking on the condition variable.  Short: a
+   descheduled sibling means the wait is a scheduling quantum, which
+   spinning cannot hide. *)
+let spin_budget = 2000
+
+let await b =
+  if b.parties > 1 then begin
+    let g = Atomic.get b.gen in
+    if Atomic.fetch_and_add b.count 1 = b.parties - 1 then begin
+      Atomic.set b.count 0;
+      Mutex.protect b.block (fun () ->
+          Atomic.incr b.gen;
+          Condition.broadcast b.released)
+    end
+    else begin
+      let spins = ref 0 in
+      while Atomic.get b.gen = g && !spins < spin_budget do
+        incr spins;
+        Domain.cpu_relax ()
+      done;
+      if Atomic.get b.gen = g then
+        Mutex.protect b.block (fun () ->
+            while Atomic.get b.gen = g do
+              Condition.wait b.released b.block
+            done)
+    end
+  end

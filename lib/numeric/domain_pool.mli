@@ -1,0 +1,46 @@
+(** Long-lived fork-join pools over OCaml 5 domains.
+
+    A pool holds [size - 1] parked worker domains; {!run} hands every
+    participant (the caller is index [0]) the same job and joins.
+    Workers persist across jobs, so the per-job overhead is one
+    condition-variable broadcast and one join — suitable for sweeps
+    called thousands of times per solve.  {!barrier} provides the
+    intra-job level synchroniser for topologically level-scheduled
+    array sweeps (see {!Convex.Tape}): it spins briefly and then
+    blocks, so forcing more domains than cores (as CI does) degrades
+    gracefully instead of busy-waiting through scheduler quanta. *)
+
+type t
+
+val create : size:int -> t
+(** A fresh pool with [size] participants ([size - 1] spawned worker
+    domains).  [size = 1] spawns nothing and {!run} degenerates to a
+    plain call.  Raises [Invalid_argument] if [size < 1]. *)
+
+val shared : size:int -> t
+(** The process-wide pool for [size], created on first use and reused
+    for the process lifetime (an [at_exit] hook joins the workers).
+    Thread-safe. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f i] for every participant index
+    [i = 0 .. size-1], index 0 on the calling domain, and returns when
+    all participants have finished.  If any participant raises, the
+    first exception is re-raised in the caller after the join.  A pool
+    runs one job at a time; [run] must not be re-entered from inside a
+    job on the same pool. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent.  Only needed for pools
+    from {!create}; {!shared} pools are shut down at exit. *)
+
+type barrier
+
+val barrier : int -> barrier
+(** A reusable sense-reversing barrier for [parties] participants. *)
+
+val await : barrier -> unit
+(** Block until all [parties] participants have called [await] for the
+    current phase; the barrier then resets for the next phase. *)

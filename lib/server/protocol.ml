@@ -219,6 +219,7 @@ let stats_reply ~id (s : Core.Plan_cache.stats) =
                ("tape_misses", Json.int s.tape_misses);
                ("warm_hits", Json.int s.warm_hits);
                ("warm_shape_hits", Json.int s.warm_shape_hits);
+               ("warm_procs_hits", Json.int s.warm_procs_hits);
                ("warm_misses", Json.int s.warm_misses);
                ("tape_entries", Json.int s.tape_entries);
                ("warm_entries", Json.int s.warm_entries);
@@ -310,6 +311,7 @@ let decode_stats j =
   let* tape_misses = Json.int_field "tape_misses" s in
   let* warm_hits = Json.int_field "warm_hits" s in
   let* warm_shape_hits = Json.int_field "warm_shape_hits" s in
+  let* warm_procs_hits = Json.int_field "warm_procs_hits" s in
   let* warm_misses = Json.int_field "warm_misses" s in
   let* tape_entries = Json.int_field "tape_entries" s in
   let* warm_entries = Json.int_field "warm_entries" s in
@@ -319,6 +321,7 @@ let decode_stats j =
       tape_misses;
       warm_hits;
       warm_shape_hits;
+      warm_procs_hits;
       warm_misses;
       tape_entries;
       warm_entries;

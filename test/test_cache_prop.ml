@@ -5,7 +5,11 @@
      than the cold solve of the same problem beyond a 1e-6 relative
      guard band;
    - key soundness: structurally distinct random MDGs never collide on
-     [Mdg.Graph.structural_hash]. *)
+     [Mdg.Graph.structural_hash];
+   - procs-aware warm starts (ISSUE 7): a known shape at a new machine
+     size is seeded from the nearest-procs optimum, rescaled, and the
+     result stays within the warm-serving guard band;
+   - the [Core.Lru] recency/eviction contract behind both caches. *)
 
 module G = Mdg.Graph
 module P = Core.Pipeline
@@ -91,6 +95,64 @@ let prop_exact_hit_phi_identical =
       && again.cache.solve_skipped
       && P.phi again = P.phi first)
 
+(* A known shape requested at a new machine size: the cache must
+   answer with a rescaled nearest-procs seed (a procs hit, surfaced as
+   a shape hit by the pipeline), and the planned Phi must stay within
+   the warm-serving guard band of the cold solve at that size. *)
+let prop_procs_hit_phi_sound =
+  QCheck.Test.make ~name:"warm procs hit: rescaled seed, Phi within 1e-6"
+    ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g =
+        Kernels.Workloads.random_layered ~seed
+          { Kernels.Workloads.default_shape with layers = 3; width = 3 }
+      in
+      let params = base_params () in
+      let cold = plan_phi (P.request params g ~procs:32) in
+      let cache = Core.Plan_cache.create () in
+      let config = P.(default_config |> with_cache cache) in
+      ignore (plan_phi ~config (P.request params g ~procs:16));
+      let warm = plan_phi ~config (P.request params g ~procs:32) in
+      let stats = Core.Plan_cache.stats cache in
+      if stats.warm_procs_hits <> 1 then
+        QCheck.Test.fail_reportf "expected 1 procs hit, stats say %d"
+          stats.warm_procs_hits;
+      if warm.cache.warm <> P.Shape_hit then
+        QCheck.Test.fail_reportf "expected the procs seed to surface as a \
+                                  shape hit";
+      let phi_cold = P.phi cold and phi_warm = P.phi warm in
+      if phi_warm > phi_cold +. (1e-6 *. (1.0 +. Float.abs phi_cold)) then
+        QCheck.Test.fail_reportf
+          "procs-warm Phi %.12g worse than cold Phi %.12g (seed %d)" phi_warm
+          phi_cold seed;
+      true)
+
+(* The LRU under the caches: a touched entry survives an insertion
+   past the capacity, the least recently used entry does not (a FIFO
+   would evict the touched one). *)
+let test_lru_eviction_order () =
+  let l = Core.Lru.create 3 in
+  List.iter (fun k -> ignore (Core.Lru.set l k (10 * k))) [ 1; 2; 3 ];
+  (* Touch 1: recency now 1, 3, 2. *)
+  Alcotest.(check (option int)) "find touches" (Some 10) (Core.Lru.find l 1);
+  (* peek must not touch: 2 stays least recent. *)
+  Alcotest.(check (option int)) "peek" (Some 20) (Core.Lru.peek l 2);
+  let evicted = Core.Lru.set l 4 40 in
+  Alcotest.(check (option (pair int int))) "evicts the LRU entry (2)"
+    (Some (2, 20)) evicted;
+  Alcotest.(check (option int)) "touched entry survives" (Some 10)
+    (Core.Lru.peek l 1);
+  Alcotest.(check (list (pair int int))) "recency order"
+    [ (4, 40); (1, 10); (3, 30) ]
+    (Core.Lru.to_list l);
+  (* Replacing a binding refreshes its recency. *)
+  ignore (Core.Lru.set l 3 33);
+  let evicted = Core.Lru.set l 5 50 in
+  Alcotest.(check (option (pair int int))) "replace refreshed 3, so 1 goes"
+    (Some (1, 10)) evicted;
+  Alcotest.(check int) "length stays at capacity" 3 (Core.Lru.length l)
+
 (* Structural signature over exactly the data the hash consumes, so a
    hash collision between graphs with different signatures is a true
    collision rather than a structurally-equal pair. *)
@@ -138,6 +200,8 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_warm_hit_phi_sound;
     QCheck_alcotest.to_alcotest prop_exact_hit_phi_identical;
+    QCheck_alcotest.to_alcotest prop_procs_hit_phi_sound;
+    Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
     Alcotest.test_case "no structural_hash collisions (10k graphs)" `Slow
       test_no_hash_collisions;
   ]

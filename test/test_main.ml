@@ -24,5 +24,6 @@ let () =
       ("expand", Test_expand.suite);
       ("server", Test_server.suite);
       ("cache-prop", Test_cache_prop.suite);
+      ("par-tape", Test_par_tape.suite);
       ("integration", Test_integration.suite);
     ]
