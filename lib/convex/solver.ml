@@ -435,7 +435,7 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
      already did) is the fast path; [Reference] keeps the memoised
      DAG-walking {!Expr} implementation callable for cross-checks. *)
   let g = Vec.create n 0.0 in
-  let f, fg, so =
+  let f, fg, so, pool =
     match engine with
     | Tape | Precompiled _ ->
         let c =
@@ -458,6 +458,9 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
           if options.domains = 0 then Domain.recommended_domain_count ()
           else options.domains
         in
+        (* Checked out per solve — concurrent solves (the plan server's
+           worker domains) must not share a pool, whose job state is
+           single-job — and released when this solve returns. *)
         let pool =
           if nd > 1 && Tape.num_slots c.tape >= parallel_cutoff then begin
             if Obs.enabled obs then
@@ -467,7 +470,7 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
                   ("slots", float_of_int (Tape.num_slots c.tape));
                   ("levels", float_of_int (Tape.num_levels c.tape));
                 ];
-            Some (Numeric.Domain_pool.shared ~size:nd)
+            Some (Numeric.Domain_pool.acquire ~size:nd)
           end
           else None
         in
@@ -489,7 +492,8 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
               so_hvp =
                 (fun ~x ~dx ~hvp -> Tape.hvp_masked c.tape c.ws ~x ~dx ~hvp);
               so_diag = (fun ~diag -> Tape.hess_diag c.tape c.ws ~diag);
-            } )
+            },
+          pool )
     | Reference ->
         ( (fun ~mu x -> Expr.eval ~mu objective x),
           (fun ~mu x ->
@@ -499,8 +503,12 @@ let solve ?(options = default_options) ?(engine = Tape) ?(obs = Obs.null) ?x0
           (* No second-order oracle on the DAG-walking path: [solve]
              falls back to pure FISTA, which doubles as the reference
              behaviour the property tests pin the Newton path to. *)
+          None,
           None )
   in
+  Fun.protect ~finally:(fun () ->
+      Option.iter Numeric.Domain_pool.release pool)
+  @@ fun () ->
   Obs.span obs ~cat:"solver" "solver.solve"
     ~args:[ ("vars", Obs.Events.Int n) ]
   @@ fun () ->

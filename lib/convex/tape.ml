@@ -878,6 +878,23 @@ let get_barrier ws nd =
       ws.bar_parties <- nd;
       b
 
+(* Run one barrier-synchronised pool job.  A participant that raises
+   poisons the barrier so its siblings drain out of their waits instead
+   of blocking forever on a party that will never arrive; [run] then
+   re-raises the participant's error here, and the (now single-use)
+   poisoned barrier is dropped from the workspace so the next sweep
+   builds a fresh one. *)
+let run_barrier_job pool ws bar job =
+  try
+    Domain_pool.run pool (fun di ->
+        try job di
+        with exn ->
+          Domain_pool.poison bar;
+          raise exn)
+  with exn ->
+    ws.bar <- None;
+    raise exn
+
 (* Iterate the plan's levels inside a pool job.  Narrow levels run
    whole on participant 0; wide ([fan]) levels are chunked evenly
    across participants, with a barrier before them (when following
@@ -1103,7 +1120,7 @@ let eval_pool ?(mu = 0.0) t pool ws x =
   else begin
     let plan = plan_of t in
     let bar = get_barrier ws nd in
-    Domain_pool.run pool (fun di ->
+    run_barrier_job pool ws bar (fun di ->
         let (_ : bool) =
           sweep_levels plan bar nd di ~descending:false ~prev:true
             (fun a b ->
@@ -1126,7 +1143,7 @@ let eval_grad_pool ?(mu = 0.0) t pool ws ~x ~grad =
     let bar = get_barrier ws nd in
     Array.fill grad 0 (Vec.dim grad) 0.0;
     let nv = t.n_vars in
-    Domain_pool.run pool (fun di ->
+    run_barrier_job pool ws bar (fun di ->
         let prev =
           sweep_levels plan bar nd di ~descending:false ~prev:true
             (fun a b ->
@@ -1172,7 +1189,7 @@ let eval_hvp_pool ?(mu = 0.0) t pool ws ~x ~dx ~grad ~hvp =
     Array.fill grad 0 (Vec.dim grad) 0.0;
     Array.fill hvp 0 (Vec.dim hvp) 0.0;
     let nv = t.n_vars in
-    Domain_pool.run pool (fun di ->
+    run_barrier_job pool ws bar (fun di ->
         let prev =
           sweep_levels plan bar nd di ~descending:false ~prev:true
             (fun a b ->

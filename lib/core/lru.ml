@@ -37,10 +37,13 @@ let push_front t n =
   t.head <- Some n
 
 let touch t n =
-  if t.head != Some n then begin
-    unlink t n;
-    push_front t n
-  end
+  (* Compare payloads physically: [t.head != Some n] would allocate a
+     fresh [Some] block and so never short-circuit. *)
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
 
 let find t k =
   match Hashtbl.find_opt t.tbl k with

@@ -20,8 +20,12 @@ type t = {
   (* Latest optimum per graph shape, per machine size: the nested
      [procs] map is what makes a different-[procs] request on a known
      shape answerable (by rescaling the nearest stored optimum) rather
-     than a cold miss. *)
-  warm_shape : (int64, (int, Numeric.Vec.t) Hashtbl.t) Hashtbl.t;
+     than a cold miss.  Bounded like the other tables — LRU over
+     shapes, and each shape's [procs] map capped at
+     [max_procs_per_shape] (evicting the size farthest in log ratio
+     from the newcomer) — so a long-running server with a diverse
+     request mix cannot grow it without limit. *)
+  warm_shape : (int64, (int, Numeric.Vec.t) Hashtbl.t) Lru.t;
   mutable tape_hits : int;
   mutable tape_misses : int;
   mutable warm_hits : int;
@@ -30,14 +34,18 @@ type t = {
   mutable warm_misses : int;
 }
 
-let create ?(max_tapes = 64) ?(max_warm = 512) () =
-  if max_tapes < 1 || max_warm < 1 then
+(* Machine sizes are powers of two in practice, so a handful of
+   per-shape entries already spans the realistic [procs] range. *)
+let max_procs_per_shape = 8
+
+let create ?(max_tapes = 64) ?(max_warm = 512) ?(max_shapes = 256) () =
+  if max_tapes < 1 || max_warm < 1 || max_shapes < 1 then
     invalid_arg "Plan_cache.create: bounds must be >= 1";
   {
     lock = Mutex.create ();
     tapes = Lru.create max_tapes;
     warm_exact = Lru.create max_warm;
-    warm_shape = Hashtbl.create 32;
+    warm_shape = Lru.create max_shapes;
     tape_hits = 0;
     tape_misses = 0;
     warm_hits = 0;
@@ -98,7 +106,7 @@ let warm t key =
           t.warm_hits <- t.warm_hits + 1;
           Some (Exact (copy_result r))
       | None -> (
-          match Hashtbl.find_opt t.warm_shape key.graph_hash with
+          match Lru.find t.warm_shape key.graph_hash with
           | None ->
               t.warm_misses <- t.warm_misses + 1;
               None
@@ -148,13 +156,32 @@ let store_warm t key result =
       (* The shape seed may outlive its exact entry; that is fine — it
          is only ever a starting point. *)
       let by_procs =
-        match Hashtbl.find_opt t.warm_shape key.graph_hash with
+        match Lru.find t.warm_shape key.graph_hash with
         | Some h -> h
         | None ->
             let h = Hashtbl.create 4 in
-            Hashtbl.add t.warm_shape key.graph_hash h;
+            ignore (Lru.set t.warm_shape key.graph_hash h : (int64 * _) option);
             h
       in
+      (if (not (Hashtbl.mem by_procs key.procs))
+          && Hashtbl.length by_procs >= max_procs_per_shape
+       then
+         (* Make room by dropping the machine size least likely to seed
+            a request near the newcomer: the farthest in log ratio. *)
+         let victim =
+           Hashtbl.fold
+             (fun p _ acc ->
+               let d =
+                 Float.abs (log (float_of_int key.procs /. float_of_int p))
+               in
+               match acc with
+               | Some (dp, _) when dp >= d -> acc
+               | _ -> Some (d, p))
+             by_procs None
+         in
+         match victim with
+         | Some (_, p) -> Hashtbl.remove by_procs p
+         | None -> ());
       Hashtbl.replace by_procs key.procs result.solver.x)
 
 let stats t =
@@ -174,7 +201,7 @@ let clear t =
   locked t (fun () ->
       Lru.clear t.tapes;
       Lru.clear t.warm_exact;
-      Hashtbl.reset t.warm_shape;
+      Lru.clear t.warm_shape;
       t.tape_hits <- 0;
       t.tape_misses <- 0;
       t.warm_hits <- 0;

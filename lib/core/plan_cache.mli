@@ -50,9 +50,11 @@ type stats = {
   warm_entries : int;
 }
 
-val create : ?max_tapes:int -> ?max_warm:int -> unit -> t
+val create : ?max_tapes:int -> ?max_warm:int -> ?max_shapes:int -> unit -> t
 (** [max_tapes] (default 64) bounds compiled-tape entries; [max_warm]
-    (default 512) bounds warm-start vectors. *)
+    (default 512) bounds exact warm-start entries; [max_shapes]
+    (default 256) bounds the graph shapes carrying per-[procs] seed
+    vectors (each shape holds at most a handful of machine sizes). *)
 
 val tape :
   t -> key -> compile:(unit -> Convex.Solver.compiled) ->

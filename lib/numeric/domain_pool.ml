@@ -19,6 +19,7 @@ type t = {
   lock : Mutex.t;
   cond : Condition.t;  (* workers wait here for a new epoch *)
   done_cond : Condition.t;  (* [run] waits here for workers to finish *)
+  running : bool Atomic.t;  (* a [run] is in flight — re-entry guard *)
   mutable epoch : int;
   mutable job : int -> unit;
   mutable finished : int;  (* workers done with the current epoch *)
@@ -27,11 +28,20 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
+exception Barrier_poisoned
+
 let size t = t.size
 
+(* Keep the first {e real} exception: a participant that raises
+   [Barrier_poisoned] only observed some sibling's failure, and which
+   participant reaches [record_error] first is a race. *)
 let record_error t exn =
   Mutex.protect t.lock (fun () ->
-      if t.error = None then t.error <- Some exn)
+      match t.error with
+      | None -> t.error <- Some exn
+      | Some Barrier_poisoned when exn <> Barrier_poisoned ->
+          t.error <- Some exn
+      | Some _ -> ())
 
 let worker t i =
   let last = ref 0 in
@@ -66,6 +76,7 @@ let create ~size =
       lock = Mutex.create ();
       cond = Condition.create ();
       done_cond = Condition.create ();
+      running = Atomic.make false;
       epoch = 0;
       job = ignore;
       finished = 0;
@@ -93,6 +104,14 @@ let shutdown t =
 let run t f =
   if t.size = 1 then f 0
   else begin
+    (* A pool runs one job at a time: its epoch/finished bookkeeping is
+       job-global, so a concurrent [run] would strand the first job's
+       workers on a stale epoch (deadlock) or interleave epochs into
+       silently wrong sweeps.  Refuse loudly instead — callers that
+       need concurrency check out distinct pools via {!acquire}. *)
+    if not (Atomic.compare_and_set t.running false true) then
+      invalid_arg "Domain_pool.run: pool already running a job";
+    Fun.protect ~finally:(fun () -> Atomic.set t.running false) @@ fun () ->
     Mutex.protect t.lock (fun () ->
         if t.stop then invalid_arg "Domain_pool.run: pool is shut down";
         t.job <- f;
@@ -116,37 +135,56 @@ let run t f =
 (* Shared pools                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* One pool per requested size, created on first use and kept for the
-   process lifetime (worker domains park between jobs).  [at_exit]
-   joins them so binaries terminate cleanly. *)
+(* A checked-out free list per size: [acquire] hands each caller a pool
+   no other caller holds (a pool's job state is single-job — see [run]),
+   and [release] returns it for reuse so worker domains park between
+   solves instead of respawning.  Every pool ever created is also kept
+   on a registry the [at_exit] hook joins, so binaries terminate
+   cleanly even if a pool is still checked out when the process ends. *)
 let shared_lock = Mutex.create ()
 
-let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let free_pools : (int, t list) Hashtbl.t = Hashtbl.create 4
+
+let all_shared : t list ref = ref []
 
 let shutdown_shared () =
   let pools =
     Mutex.protect shared_lock (fun () ->
-        let ps = Hashtbl.fold (fun _ p acc -> p :: acc) shared_pools [] in
-        Hashtbl.reset shared_pools;
+        Hashtbl.reset free_pools;
+        let ps = !all_shared in
+        all_shared := [];
         ps)
   in
   List.iter shutdown pools
 
 let exit_hook_installed = ref false
 
-let shared ~size =
-  if size < 1 then invalid_arg "Domain_pool.shared: size must be >= 1";
+let acquire ~size =
+  if size < 1 then invalid_arg "Domain_pool.acquire: size must be >= 1";
   Mutex.protect shared_lock (fun () ->
-      match Hashtbl.find_opt shared_pools size with
-      | Some p -> p
-      | None ->
+      match Hashtbl.find_opt free_pools size with
+      | Some (p :: rest) ->
+          Hashtbl.replace free_pools size rest;
+          p
+      | Some [] | None ->
           if not !exit_hook_installed then begin
             exit_hook_installed := true;
             at_exit shutdown_shared
           end;
           let p = create ~size in
-          Hashtbl.add shared_pools size p;
+          all_shared := p :: !all_shared;
           p)
+
+let release p =
+  Mutex.protect shared_lock (fun () ->
+      (* After [shutdown_shared] the registry is empty: the process is
+         exiting and the pool is already joined — drop it. *)
+      if List.memq p !all_shared then
+        let rest =
+          Option.value ~default:[] (Hashtbl.find_opt free_pools p.size)
+        in
+        if not (List.memq p rest) then
+          Hashtbl.replace free_pools p.size (p :: rest))
 
 (* ------------------------------------------------------------------ *)
 (* Barriers                                                            *)
@@ -156,6 +194,7 @@ type barrier = {
   parties : int;
   count : int Atomic.t;
   gen : int Atomic.t;
+  poisoned : bool Atomic.t;
   block : Mutex.t;
   released : Condition.t;
 }
@@ -166,9 +205,24 @@ let barrier parties =
     parties;
     count = Atomic.make 0;
     gen = Atomic.make 0;
+    poisoned = Atomic.make false;
     block = Mutex.create ();
     released = Condition.create ();
   }
+
+(* A participant that raises mid-job stops attending barrier phases, so
+   its siblings would wait for it forever.  [poison] breaks that: it
+   releases everyone currently parked (by advancing the generation) and
+   makes every subsequent [await] raise, so the job drains and [run]
+   can re-raise the original error.  A poisoned barrier stays poisoned
+   — callers discard it and build a fresh one for the next job. *)
+let poison b =
+  if b.parties > 1 && not (Atomic.get b.poisoned) then begin
+    Atomic.set b.poisoned true;
+    Mutex.protect b.block (fun () ->
+        Atomic.incr b.gen;
+        Condition.broadcast b.released)
+  end
 
 (* Spin budget before parking on the condition variable.  Short: a
    descheduled sibling means the wait is a scheduling quantum, which
@@ -177,6 +231,7 @@ let spin_budget = 2000
 
 let await b =
   if b.parties > 1 then begin
+    if Atomic.get b.poisoned then raise Barrier_poisoned;
     let g = Atomic.get b.gen in
     if Atomic.fetch_and_add b.count 1 = b.parties - 1 then begin
       Atomic.set b.count 0;
@@ -195,5 +250,9 @@ let await b =
             while Atomic.get b.gen = g do
               Condition.wait b.released b.block
             done)
-    end
+    end;
+    (* A generation advance may have come from [poison], not from the
+       last party arriving — do not let a released waiter resume the
+       sweep on a dead job. *)
+    if Atomic.get b.poisoned then raise Barrier_poisoned
   end

@@ -17,10 +17,19 @@ val create : size:int -> t
     domains).  [size = 1] spawns nothing and {!run} degenerates to a
     plain call.  Raises [Invalid_argument] if [size < 1]. *)
 
-val shared : size:int -> t
-(** The process-wide pool for [size], created on first use and reused
-    for the process lifetime (an [at_exit] hook joins the workers).
+val acquire : size:int -> t
+(** Check a pool of [size] participants out of the process-wide free
+    list, creating one when none is free.  The caller holds the pool
+    exclusively — concurrent [acquire] calls from different domains get
+    {e distinct} pools, so each may {!run} jobs without coordinating
+    with the others — and should hand it back with {!release} when
+    done, so its parked workers are reused instead of respawned.
+    Pools never released are still joined by an [at_exit] hook.
     Thread-safe. *)
+
+val release : t -> unit
+(** Return an {!acquire}d pool to the free list.  Call at most once per
+    [acquire], after the last [run] on the pool has returned. *)
 
 val size : t -> int
 
@@ -28,9 +37,11 @@ val run : t -> (int -> unit) -> unit
 (** [run t f] executes [f i] for every participant index
     [i = 0 .. size-1], index 0 on the calling domain, and returns when
     all participants have finished.  If any participant raises, the
-    first exception is re-raised in the caller after the join.  A pool
-    runs one job at a time; [run] must not be re-entered from inside a
-    job on the same pool. *)
+    first exception is re-raised in the caller after the join (a real
+    error is preferred over {!Barrier_poisoned} echoes from siblings).
+    A pool runs one job at a time: a concurrent or re-entrant [run] on
+    the same pool raises [Invalid_argument] instead of corrupting the
+    in-flight job. *)
 
 val shutdown : t -> unit
 (** Stop and join the workers.  Idempotent.  Only needed for pools
@@ -38,9 +49,22 @@ val shutdown : t -> unit
 
 type barrier
 
+exception Barrier_poisoned
+(** Raised by {!await} once the barrier has been {!poison}ed. *)
+
 val barrier : int -> barrier
 (** A reusable sense-reversing barrier for [parties] participants. *)
 
 val await : barrier -> unit
 (** Block until all [parties] participants have called [await] for the
-    current phase; the barrier then resets for the next phase. *)
+    current phase; the barrier then resets for the next phase.  Raises
+    {!Barrier_poisoned} (instead of blocking, or instead of resuming
+    after a wake-up) once the barrier is poisoned. *)
+
+val poison : barrier -> unit
+(** Break the barrier: release every participant currently parked in
+    {!await} and make all subsequent [await]s raise
+    {!Barrier_poisoned}.  A participant that raises mid-job calls this
+    so its siblings drain instead of waiting forever for a party that
+    will never arrive; the poisoned barrier must then be discarded.
+    Idempotent. *)

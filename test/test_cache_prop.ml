@@ -153,6 +153,84 @@ let test_lru_eviction_order () =
     (Some (1, 10)) evicted;
   Alcotest.(check int) "length stays at capacity" 3 (Core.Lru.length l)
 
+(* The shape-seed table is bounded like the other two caches (the .mli
+   promises every entry count is): shapes beyond [max_shapes] evict the
+   least recently stored one, and one shape holds at most a handful of
+   machine sizes — probing more [procs] values than that cap must
+   answer the overflow via nearest-procs rescaling, not by growing the
+   table. *)
+let fake_result n value =
+  {
+    Core.Allocation.alloc = Array.make n 1.0;
+    phi = value;
+    average = value;
+    critical_path = value;
+    solver =
+      {
+        Convex.Solver.x = Array.make n value;
+        value;
+        iterations = 1;
+        stages = 1;
+        converged = true;
+        hvp_evals = 0;
+        cg_iterations = 0;
+      };
+  }
+
+let shape_key ?(fingerprint = 0L) ~h ~procs () =
+  {
+    Core.Plan_cache.graph_hash = Int64.of_int h;
+    fingerprint;
+    procs;
+  }
+
+let test_warm_shape_bounded () =
+  let cache = Core.Plan_cache.create ~max_shapes:4 () in
+  let r = fake_result 3 0.5 in
+  for h = 1 to 8 do
+    Core.Plan_cache.store_warm cache (shape_key ~h ~procs:8 ()) r
+  done;
+  (* Distinct fingerprint: the exact cache cannot answer, only the
+     shape table can. *)
+  let probe h =
+    Core.Plan_cache.warm cache (shape_key ~fingerprint:1L ~h ~procs:8 ())
+  in
+  (match probe 1 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "shape 1 should have been evicted (capacity 4)");
+  (match probe 8 with
+  | Some (Core.Plan_cache.Seed _) -> ()
+  | _ -> Alcotest.fail "shape 8 should still hold a seed");
+  let stats = Core.Plan_cache.stats cache in
+  Alcotest.(check int) "evicted shape is a warm miss" 1 stats.warm_misses;
+  Alcotest.(check int) "resident shape is a shape hit" 1 stats.warm_shape_hits
+
+let test_warm_shape_procs_capped () =
+  let cache = Core.Plan_cache.create () in
+  let r = fake_result 3 0.5 in
+  (* 12 machine sizes for one shape: more than the per-shape cap (8),
+     so at least 4 of the probes below must be answered by rescaling
+     from a neighbouring size rather than exactly. *)
+  let sizes = List.init 12 (fun i -> 1 lsl i) in
+  List.iter
+    (fun procs -> Core.Plan_cache.store_warm cache (shape_key ~h:7 ~procs ()) r)
+    sizes;
+  List.iter
+    (fun procs ->
+      match
+        Core.Plan_cache.warm cache (shape_key ~fingerprint:1L ~h:7 ~procs ())
+      with
+      | Some (Core.Plan_cache.Seed _) -> ()
+      | _ ->
+          Alcotest.failf "procs %d should seed (exactly or rescaled)" procs)
+    sizes;
+  let stats = Core.Plan_cache.stats cache in
+  Alcotest.(check int) "every probe seeded" 12
+    (stats.warm_shape_hits + stats.warm_procs_hits);
+  Alcotest.(check bool) "per-shape procs entries capped at 8" true
+    (stats.warm_shape_hits <= 8);
+  Alcotest.(check int) "no warm misses" 0 stats.warm_misses
+
 (* Structural signature over exactly the data the hash consumes, so a
    hash collision between graphs with different signatures is a true
    collision rather than a structurally-equal pair. *)
@@ -202,6 +280,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_exact_hit_phi_identical;
     QCheck_alcotest.to_alcotest prop_procs_hit_phi_sound;
     Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "warm shape table bounded" `Quick
+      test_warm_shape_bounded;
+    Alcotest.test_case "per-shape procs entries capped" `Quick
+      test_warm_shape_procs_capped;
     Alcotest.test_case "no structural_hash collisions (10k graphs)" `Slow
       test_no_hash_collisions;
   ]

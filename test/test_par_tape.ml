@@ -186,10 +186,129 @@ let prop_pcg_same_optimum =
           pc.Solver.value plain.Solver.value span
       else true)
 
+(* Concurrent solves (the plan server's worker domains) must not share
+   a pool: [acquire] hands simultaneous callers distinct pools, each of
+   which runs barrier-synchronised jobs correctly while the other is
+   mid-job.  Under the old process-wide per-size singleton this
+   interleaving deadlocked (parked workers only ever observe the
+   newest epoch) or interleaved epochs into wrong sweeps. *)
+let test_acquire_concurrent () =
+  let gate = Atomic.make 0 in
+  let worker () =
+    let p = Pool.acquire ~size:2 in
+    (* Rendezvous so both domains demonstrably hold a pool at once. *)
+    Atomic.incr gate;
+    while Atomic.get gate < 2 do
+      Domain.cpu_relax ()
+    done;
+    let bar = Pool.barrier (Pool.size p) in
+    let acc = Array.make 2 0 in
+    for _ = 1 to 100 do
+      Pool.run p (fun di ->
+          acc.(di) <- acc.(di) + 1;
+          Pool.await bar;
+          acc.(di) <- acc.(di) + 1;
+          Pool.await bar)
+    done;
+    Pool.release p;
+    (p, acc)
+  in
+  let d = Domain.spawn worker in
+  let p0, a = worker () in
+  let p1, b = Domain.join d in
+  Alcotest.(check bool) "concurrent acquires get distinct pools" true (p0 != p1);
+  Alcotest.(check (array int)) "caller-domain jobs all ran" [| 200; 200 |] a;
+  Alcotest.(check (array int)) "spawned-domain jobs all ran" [| 200; 200 |] b
+
+(* Re-entering [run] on a pool that is already mid-job must refuse
+   loudly instead of corrupting the in-flight job's epoch state. *)
+let test_run_reentry_refused () =
+  let p = Pool.acquire ~size:2 in
+  (try
+     Pool.run p (fun di -> if di = 0 then Pool.run p (fun _ -> ()));
+     Alcotest.fail "re-entrant run should raise Invalid_argument"
+   with Invalid_argument _ -> ());
+  (* The refusal must leave the pool reusable. *)
+  let hits = Atomic.make 0 in
+  Pool.run p (fun _ -> Atomic.incr hits);
+  Alcotest.(check int) "pool survives the refused re-entry" 2
+    (Atomic.get hits);
+  Pool.release p
+
+(* A participant that raises mid-job poisons the barrier (the tape
+   sweeps follow the same protocol), so its siblings drain instead of
+   waiting forever — and [run] re-raises the original error, not a
+   sibling's [Barrier_poisoned] echo. *)
+let test_job_exception_propagates () =
+  let p = Pool.acquire ~size:3 in
+  let bar = Pool.barrier (Pool.size p) in
+  (try
+     Pool.run p (fun di ->
+         try
+           if di = 1 then failwith "boom";
+           Pool.await bar;
+           Pool.await bar
+         with exn ->
+           Pool.poison bar;
+           raise exn);
+     Alcotest.fail "the job's exception should re-raise from run"
+   with Failure msg -> Alcotest.(check string) "original error wins" "boom" msg);
+  (* A poisoned barrier stays poisoned; a fresh one works. *)
+  (try
+     Pool.await bar;
+     Alcotest.fail "poisoned barrier should refuse further awaits"
+   with Pool.Barrier_poisoned -> ());
+  let bar' = Pool.barrier (Pool.size p) in
+  let hits = Atomic.make 0 in
+  Pool.run p (fun _ ->
+      Pool.await bar';
+      Atomic.incr hits);
+  Alcotest.(check int) "pool and a fresh barrier still work" 3
+    (Atomic.get hits);
+  Pool.release p
+
+(* The plan-server scenario the pool free list exists for: several
+   domains each solving a problem whose tape crosses the parallel
+   cutoff (1024 slots), with [options.domains > 1] — every solve must
+   check out its own pool and land on the same optimum.  (The solver is
+   deterministic, so the values must agree bit-for-bit across the
+   racing domains.) *)
+let test_concurrent_big_tape_solves () =
+  let terms =
+    List.init 1400 (fun i ->
+        Expr.term
+          ~coeff:(1.0 +. float_of_int (i mod 7))
+          ~expts:
+            [ (i mod nvars, if i mod 2 = 0 then 1.0 else -1.0) ])
+  in
+  let e = Expr.sum terms in
+  let lo = Array.make nvars (-1.0) and hi = Array.make nvars 1.0 in
+  let prob = { Solver.objective = e; lo; hi } in
+  let options = { Solver.default_options with domains = 2 } in
+  let solve () = (Solver.solve ~options prob).Solver.value in
+  let ds = List.init 3 (fun _ -> Domain.spawn solve) in
+  let v0 = solve () in
+  let vs = List.map Domain.join ds in
+  List.iteri
+    (fun i v ->
+      if not (Float.equal v v0) then
+        Alcotest.failf "racing solve %d diverged: %.17g vs %.17g" i v v0)
+    vs
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_parallel_bit_identical;
       prop_masked_matches_dense;
       prop_pcg_same_optimum;
+    ]
+  @ [
+      Alcotest.test_case "concurrent big-tape solves" `Quick
+        test_concurrent_big_tape_solves;
+      Alcotest.test_case "concurrent acquires get distinct pools" `Quick
+        test_acquire_concurrent;
+      Alcotest.test_case "re-entrant run refused" `Quick
+        test_run_reentry_refused;
+      Alcotest.test_case "job exception poisons barrier and propagates" `Quick
+        test_job_exception_propagates;
     ]
