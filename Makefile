@@ -1,7 +1,7 @@
 # Development entry points.  `make verify` is the tier-1 gate: build,
 # test, and (when ocamlformat is installed) formatting drift.
 
-.PHONY: all build test fmt fmt-apply verify bench-quick bench-serve-quick clean
+.PHONY: all build test test-long fmt fmt-apply verify bench-quick bench-serve-quick clean
 
 all: build
 
@@ -10,6 +10,13 @@ build:
 
 test:
 	dune runtest
+
+# Soak run for the property suites: every QCheck case count is
+# multiplied by PARADIGM_QCHECK_MULT (see test/generators.ml), so the
+# random-workload properties see 10x the cases.  The nightly CI job
+# runs this under both PARADIGM_DOMAINS=1 and =4.
+test-long:
+	PARADIGM_QCHECK_MULT=10 dune runtest --force
 
 # Formatting check, gated on the pinned ocamlformat (see .ocamlformat)
 # being installed so environments without it still pass `make verify`.

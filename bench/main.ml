@@ -90,8 +90,16 @@ let () =
   | [| _; "serve" |] -> Serve_bench.serve ()
   | [| _; "serve-quick" |] -> Serve_bench.serve_quick ()
   | [| _; name |] -> (Experiments.by_name name) ()
+  | argv when Array.length argv > 2 && argv.(1) = "scale" ->
+      (* Ad-hoc scaling rows, e.g.
+           main.exe -- scale 3 random:depth=4,branch=3:17
+         (a bare int is a Strassen recursion depth; the random spec
+         grammar is Workgen.spec_of_string's). *)
+      Experiments.scale_custom
+        (Array.to_list (Array.sub argv 2 (Array.length argv - 2)))
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [fig1|tab1|fig3|tab2|fig5|fig6|fig7|fig8|fig9|tab3|ablate|sweep|static|heuristics|topology|scale|scale-quick|expand|serve|serve-quick|micro]";
+         [fig1|tab1|fig3|tab2|fig5|fig6|fig7|fig8|fig9|tab3|ablate|sweep|static|heuristics|topology|scale|scale-quick|expand|serve|serve-quick|micro]\n\
+         \       main.exe scale [<levels>|strassen:<levels>|random:<spec>:<seed>]...";
       exit 2

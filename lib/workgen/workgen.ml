@@ -1,0 +1,422 @@
+module G = Mdg.Graph
+
+type dist =
+  | Const of float
+  | Uniform of float * float
+  | Log_uniform of float * float
+
+type spec = {
+  depth : int;
+  branching : int;
+  divide : int;
+  combine : int;
+  cutoff : float;
+  wiring : float;
+  twod_fraction : float;
+  tau : dist;
+  alpha : dist;
+  bytes : dist;
+  tau_decay : float;
+  bytes_decay : float;
+}
+
+let default_spec =
+  {
+    depth = 2;
+    branching = 3;
+    divide = 2;
+    combine = 2;
+    cutoff = 0.0;
+    wiring = 0.3;
+    twod_fraction = 0.25;
+    tau = Log_uniform (0.01, 1.0);
+    alpha = Uniform (0.02, 0.3);
+    bytes = Log_uniform (1024.0, 262144.0);
+    tau_decay = 0.6;
+    bytes_decay = 0.5;
+  }
+
+let check_dist name = function
+  | Const c ->
+      if not (Float.is_finite c) || c < 0.0 then
+        invalid_arg (Printf.sprintf "Workgen: %s constant %g out of range" name c)
+  | Uniform (lo, hi) ->
+      if not (Float.is_finite lo && Float.is_finite hi) || lo < 0.0 || hi < lo
+      then
+        invalid_arg
+          (Printf.sprintf "Workgen: %s uniform range [%g, %g] invalid" name lo
+             hi)
+  | Log_uniform (lo, hi) ->
+      if not (Float.is_finite lo && Float.is_finite hi) || lo <= 0.0 || hi < lo
+      then
+        invalid_arg
+          (Printf.sprintf "Workgen: %s log-uniform range [%g, %g] invalid" name
+             lo hi)
+
+let check_unit name v =
+  if not (Float.is_finite v) || v < 0.0 || v > 1.0 then
+    invalid_arg (Printf.sprintf "Workgen: %s %g outside [0, 1]" name v)
+
+let validate s =
+  if s.depth < 0 then invalid_arg "Workgen: depth < 0";
+  if s.branching < 1 then invalid_arg "Workgen: branching < 1";
+  if s.divide < 0 then invalid_arg "Workgen: divide < 0";
+  if s.combine < 0 then invalid_arg "Workgen: combine < 0";
+  check_unit "cutoff" s.cutoff;
+  check_unit "wiring" s.wiring;
+  check_unit "twod_fraction" s.twod_fraction;
+  check_dist "tau" s.tau;
+  check_dist "alpha" s.alpha;
+  check_dist "bytes" s.bytes;
+  if not (Float.is_finite s.tau_decay) || s.tau_decay <= 0.0 then
+    invalid_arg "Workgen: tau_decay <= 0";
+  if not (Float.is_finite s.bytes_decay) || s.bytes_decay <= 0.0 then
+    invalid_arg "Workgen: bytes_decay <= 0"
+
+let num_tasks s =
+  (* 1 + b + b^2 + ... + b^depth, saturating instead of overflowing. *)
+  let rec go level acc width =
+    if level > s.depth || acc > max_int / 2 then acc
+    else
+      go (level + 1) (acc + width)
+        (if width > max_int / (s.branching + 1) then max_int else width * s.branching)
+  in
+  go 0 0 1
+
+(* Deterministic splittable PRNG (same LCG as Kernels.Workloads). *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let make seed = { state = Int64.of_int (seed lxor 0x5DEECE66D) }
+
+  let next t =
+    t.state <-
+      Int64.add (Int64.mul t.state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_int (Int64.shift_right_logical t.state 17) land 0xFFFFFF
+
+  let float t = float_of_int (next t) /. float_of_int 0x1000000
+
+  let int t n = if n <= 0 then 0 else next t mod n
+end
+
+let draw rng = function
+  | Const c -> c
+  | Uniform (lo, hi) -> lo +. (Rng.float rng *. (hi -. lo))
+  | Log_uniform (lo, hi) ->
+      exp (log lo +. (Rng.float rng *. (log hi -. log lo)))
+
+(* ------------------------------------------------------------------ *)
+(* Graph generation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let generate s ~seed =
+  validate s;
+  let rng = Rng.make seed in
+  let b = G.create_builder () in
+  let present = Hashtbl.create 64 in
+  (* The builder rejects duplicate (src, dst) pairs; forced
+     connectivity edges and wiring extras may coincide, so dedupe
+     here.  Byte/kind draws happen only for edges actually added,
+     keeping the stream deterministic. *)
+  let add_edge ~src ~dst ~bscale =
+    if src <> dst && not (Hashtbl.mem present (src, dst)) then begin
+      Hashtbl.add present (src, dst) ();
+      let bytes = Float.max 1.0 (draw rng s.bytes *. bscale) in
+      let kind : G.transfer_kind =
+        if Rng.float rng < s.twod_fraction then Twod else Oned
+      in
+      G.add_edge b ~src ~dst ~bytes ~kind
+    end
+  in
+  let node ~label ~tscale =
+    let alpha = Float.min 1.0 (Float.max 0.0 (draw rng s.alpha)) in
+    let tau = Float.max 1e-9 (draw rng s.tau *. tscale) in
+    G.add_node b ~label ~kernel:(Synthetic { alpha; tau })
+  in
+  (* A task returns its (entries, exits): the nodes upstream tasks
+     feed into and the nodes its result leaves from. *)
+  let rec task path level =
+    let gen = s.depth - level in
+    let tscale = s.tau_decay ** float_of_int gen in
+    let bscale = s.bytes_decay ** float_of_int gen in
+    if level <= 0 then begin
+      let id = node ~label:(path ^ ".leaf") ~tscale in
+      ([ id ], [ id ])
+    end
+    else begin
+      let divide =
+        Array.init s.divide (fun i ->
+            node ~label:(Printf.sprintf "%s.div%d" path i) ~tscale)
+      in
+      let children =
+        Array.init s.branching (fun i ->
+            let level' =
+              if level > 1 && Rng.float rng < s.cutoff then 0 else level - 1
+            in
+            task (Printf.sprintf "%s.%d" path i) level')
+      in
+      if s.divide > 0 then
+        Array.iter
+          (fun (entries, _) ->
+            List.iter
+              (fun e ->
+                (* One forced predecessor keeps every child reachable
+                   from the divide phase... *)
+                let forced = divide.(Rng.int rng s.divide) in
+                add_edge ~src:forced ~dst:e ~bscale;
+                (* ...wiring adds the rest of the fan-out. *)
+                Array.iter
+                  (fun d ->
+                    if d <> forced && Rng.float rng < s.wiring then
+                      add_edge ~src:d ~dst:e ~bscale)
+                  divide)
+              entries)
+          children;
+      let combine =
+        Array.init s.combine (fun i ->
+            node ~label:(Printf.sprintf "%s.comb%d" path i) ~tscale)
+      in
+      if s.combine > 0 then begin
+        (* Every combine node consumes some child's result, and every
+           child's result reaches some combine node. *)
+        Array.iter
+          (fun c ->
+            let _, exits = children.(Rng.int rng s.branching) in
+            let exits = Array.of_list exits in
+            add_edge ~src:exits.(Rng.int rng (Array.length exits)) ~dst:c
+              ~bscale)
+          combine;
+        Array.iter
+          (fun (_, exits) ->
+            List.iter
+              (fun x ->
+                let forced = combine.(Rng.int rng s.combine) in
+                add_edge ~src:x ~dst:forced ~bscale;
+                Array.iter
+                  (fun c ->
+                    if c <> forced && Rng.float rng < s.wiring then
+                      add_edge ~src:x ~dst:c ~bscale)
+                  combine)
+              exits)
+          children
+      end;
+      let concat f =
+        Array.to_list children |> List.concat_map f
+      in
+      let entries =
+        if s.divide > 0 then Array.to_list divide else concat fst
+      in
+      let exits =
+        if s.combine > 0 then Array.to_list combine else concat snd
+      in
+      (entries, exits)
+    end
+  in
+  ignore (task "r" s.depth);
+  G.normalise (G.build b)
+
+(* ------------------------------------------------------------------ *)
+(* Program generation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let generate_program s ~seed ~size =
+  validate s;
+  (* A distinct stream tag so graph and program draws of the same seed
+     are unrelated. *)
+  let rng = Rng.make (seed lxor 0x9E3779B9) in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "m%d" !counter
+  in
+  let stmts = ref [] in
+  let emit target rhs =
+    let dist : Frontend.Ast.distribution =
+      if Rng.float rng < s.twod_fraction then Col else Row
+    in
+    stmts := Frontend.Ast.stmt ~dist target rhs :: !stmts;
+    target
+  in
+  let pick pool = pool.(Rng.int rng (Array.length pool)) in
+  let binop a b : Frontend.Ast.rhs =
+    if Rng.int rng 2 = 0 then Add (a, b) else Sub (a, b)
+  in
+  (* Every statement writes a fresh matrix, so the program is in SSA
+     form: reordering along any flow-dependence-respecting schedule
+     cannot change the computed values. *)
+  let rec task level a b =
+    if level <= 0 then emit (fresh ()) (Mul (a, b))
+    else begin
+      let pool = ref [| a; b |] in
+      for _ = 1 to s.divide do
+        let x = pick !pool in
+        let y = pick !pool in
+        pool := Array.append !pool [| emit (fresh ()) (binop x y) |]
+      done;
+      let outs =
+        Array.init s.branching (fun _ ->
+            let level' =
+              if level > 1 && Rng.float rng < s.cutoff then 0 else level - 1
+            in
+            let x = pick !pool in
+            let y = pick !pool in
+            task level' x y)
+      in
+      let acc = ref outs in
+      let result = ref outs.(Array.length outs - 1) in
+      for _ = 1 to s.combine do
+        let x = pick !acc in
+        let y = pick !acc in
+        result := emit (fresh ()) (binop x y);
+        acc := Array.append !acc [| !result |]
+      done;
+      !result
+    end
+  in
+  let a = emit "A" Init in
+  let b = emit "B" Init in
+  ignore (task s.depth a b);
+  Frontend.Ast.program ~size (List.rev !stmts)
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let dist_to_string = function
+  | Const c -> Printf.sprintf "%g" c
+  | Uniform (lo, hi) -> Printf.sprintf "u%g~%g" lo hi
+  | Log_uniform (lo, hi) -> Printf.sprintf "l%g~%g" lo hi
+
+let spec_to_string s =
+  String.concat ","
+    [
+      Printf.sprintf "depth=%d" s.depth;
+      Printf.sprintf "branch=%d" s.branching;
+      Printf.sprintf "div=%d" s.divide;
+      Printf.sprintf "comb=%d" s.combine;
+      Printf.sprintf "cutoff=%g" s.cutoff;
+      Printf.sprintf "wiring=%g" s.wiring;
+      Printf.sprintf "twod=%g" s.twod_fraction;
+      "tau=" ^ dist_to_string s.tau;
+      "alpha=" ^ dist_to_string s.alpha;
+      "bytes=" ^ dist_to_string s.bytes;
+      Printf.sprintf "taudecay=%g" s.tau_decay;
+      Printf.sprintf "bytesdecay=%g" s.bytes_decay;
+    ]
+
+let dist_of_string str =
+  let range tail =
+    match String.split_on_char '~' tail with
+    | [ lo; hi ] -> (
+        match (float_of_string_opt lo, float_of_string_opt hi) with
+        | Some lo, Some hi -> Some (lo, hi)
+        | _ -> None)
+    | _ -> None
+  in
+  if str = "" then None
+  else
+    match str.[0] with
+    | 'u' ->
+        Option.map
+          (fun (lo, hi) -> Uniform (lo, hi))
+          (range (String.sub str 1 (String.length str - 1)))
+    | 'l' ->
+        Option.map
+          (fun (lo, hi) -> Log_uniform (lo, hi))
+          (range (String.sub str 1 (String.length str - 1)))
+    | _ -> Option.map (fun c -> Const c) (float_of_string_opt str)
+
+let spec_of_string str =
+  let ( let* ) = Result.bind in
+  let int_field k v f =
+    match int_of_string_opt v with
+    | Some i -> Ok (f i)
+    | None -> Error (Printf.sprintf "spec key %s: bad integer %S" k v)
+  in
+  let float_field k v f =
+    match float_of_string_opt v with
+    | Some x -> Ok (f x)
+    | None -> Error (Printf.sprintf "spec key %s: bad float %S" k v)
+  in
+  let dist_field k v f =
+    match dist_of_string v with
+    | Some d -> Ok (f d)
+    | None ->
+        Error
+          (Printf.sprintf
+             "spec key %s: bad distribution %S (want <c>, u<lo>~<hi> or \
+              l<lo>~<hi>)"
+             k v)
+  in
+  let apply s kv =
+    match String.index_opt kv '=' with
+    | None -> Error (Printf.sprintf "spec item %S is not key=value" kv)
+    | Some i -> (
+        let k = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        match k with
+        | "depth" -> int_field k v (fun depth -> { s with depth })
+        | "branch" -> int_field k v (fun branching -> { s with branching })
+        | "div" -> int_field k v (fun divide -> { s with divide })
+        | "comb" -> int_field k v (fun combine -> { s with combine })
+        | "cutoff" -> float_field k v (fun cutoff -> { s with cutoff })
+        | "wiring" -> float_field k v (fun wiring -> { s with wiring })
+        | "twod" ->
+            float_field k v (fun twod_fraction -> { s with twod_fraction })
+        | "tau" -> dist_field k v (fun tau -> { s with tau })
+        | "alpha" -> dist_field k v (fun alpha -> { s with alpha })
+        | "bytes" -> dist_field k v (fun bytes -> { s with bytes })
+        | "taudecay" -> float_field k v (fun tau_decay -> { s with tau_decay })
+        | "bytesdecay" ->
+            float_field k v (fun bytes_decay -> { s with bytes_decay })
+        | _ -> Error (Printf.sprintf "unknown spec key %S" k))
+  in
+  let items =
+    String.split_on_char ',' (String.trim str)
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let* s =
+    List.fold_left
+      (fun acc kv ->
+        let* s = acc in
+        apply s kv)
+      (Ok default_spec) items
+  in
+  match validate s with
+  | () -> Ok s
+  | exception Invalid_argument msg -> Error msg
+
+let spec_of_string_exn str =
+  match spec_of_string str with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Workgen.spec_of_string: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Every candidate strictly decreases the measure (depth, branching,
+   divide + combine, #non-degenerate float knobs, #non-constant
+   distributions), so shrinking cannot loop. *)
+let shrink_spec s =
+  let shrink_dist = function
+    | Const _ -> None
+    | Uniform (lo, _) | Log_uniform (lo, _) -> Some (Const lo)
+  in
+  List.filter_map
+    (fun c -> c)
+    [
+      (if s.depth > 0 then Some { s with depth = s.depth - 1 } else None);
+      (if s.branching > 1 then Some { s with branching = s.branching - 1 }
+       else None);
+      (if s.divide > 0 then Some { s with divide = s.divide - 1 } else None);
+      (if s.combine > 0 then Some { s with combine = s.combine - 1 } else None);
+      (if s.cutoff > 0.0 then Some { s with cutoff = 0.0 } else None);
+      (if s.wiring > 0.0 then Some { s with wiring = 0.0 } else None);
+      (if s.twod_fraction > 0.0 then Some { s with twod_fraction = 0.0 }
+       else None);
+      Option.map (fun tau -> { s with tau }) (shrink_dist s.tau);
+      Option.map (fun alpha -> { s with alpha }) (shrink_dist s.alpha);
+      Option.map (fun bytes -> { s with bytes }) (shrink_dist s.bytes);
+    ]

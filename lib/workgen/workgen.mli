@@ -1,0 +1,110 @@
+(** Randomized recursive-workload generator.
+
+    The paper validates its pipeline on exactly two hand-built kernels
+    (complex matrix multiply and one-level Strassen); this module
+    generates the broader divide–combine nested-dataflow class those
+    kernels belong to (Dinh & Simhadri, arXiv:1602.04552): a recursion
+    schema expands into a tree of tasks, each internal task
+    contributing a {e divide} phase, [branching] recursive children
+    and a {e combine} phase, with per-level cost decay and
+    configurable irregularity — the knobs follow the realistic-model
+    axes of Papp et al. (arXiv:2404.15246).
+
+    Everything here is deterministic in [(spec, seed)]: the same pair
+    always produces the same graph (or program), across processes and
+    platforms, which is what lets property-test failures be pinned as
+    corpus seeds (see [test/corpus/workgen.seeds]) and benchmark rows
+    be reproduced from their [spec]/[seed] columns. *)
+
+(** {1 Specifications} *)
+
+type dist =
+  | Const of float                (** the constant itself *)
+  | Uniform of float * float      (** uniform on [[lo, hi]] *)
+  | Log_uniform of float * float
+      (** exp of a uniform draw on [[log lo, log hi]] — scale-free
+          cost mixtures; requires [lo > 0] *)
+
+type spec = {
+  depth : int;        (** recursion depth; [0] generates a single leaf *)
+  branching : int;    (** children per internal task, [>= 1] *)
+  divide : int;       (** nodes in each divide phase, [>= 0] *)
+  combine : int;      (** nodes in each combine phase, [>= 0] *)
+  cutoff : float;
+      (** probability that a child stops recursing early (its subtree
+          collapses to a leaf), in [[0, 1]] — irregular recursion
+          trees; [0] is a perfectly balanced tree *)
+  wiring : float;
+      (** probability of each {e extra} divide→child / child→combine
+          edge beyond the forced connectivity edges, in [[0, 1]] *)
+  twod_fraction : float;  (** fraction of 2D (redistributing) transfers *)
+  tau : dist;             (** leaf/phase serial times, seconds *)
+  alpha : dist;           (** Amdahl serial fractions (clamped to [[0,1]]) *)
+  bytes : dist;           (** transfer sizes, bytes *)
+  tau_decay : float;
+      (** per-level multiplier on [tau] going down the recursion
+          ([> 0]; Strassen-like workloads shrink, [1.0] is flat) *)
+  bytes_decay : float;    (** per-level multiplier on [bytes], [> 0] *)
+}
+
+val default_spec : spec
+(** [depth=2, branching=3, divide=2, combine=2], no cutoff, Strassen-ish
+    decays; see [workgen.ml] for the exact constants. *)
+
+val validate : spec -> unit
+(** Raises [Invalid_argument] with a descriptive message on any
+    out-of-range field.  Called by both generators. *)
+
+val num_tasks : spec -> int
+(** Number of tasks (internal + leaf) of the {e balanced} recursion
+    tree — the [cutoff = 0] upper bound on tree size.  Node counts
+    follow: internal tasks contribute [divide + combine] nodes, leaves
+    one each, plus START/STOP. *)
+
+(** {1 Generation} *)
+
+val generate : spec -> seed:int -> Mdg.Graph.t
+(** Expand the recursion schema into a normalised MDG of [Synthetic]
+    nodes (no calibration needed: Amdahl parameters are carried by the
+    kernels themselves).  Deterministic in [(spec, seed)]. *)
+
+val generate_program : spec -> seed:int -> size:int -> Frontend.Ast.program
+(** Expand the same schema into a recursive matrix {e program} (the
+    front-end IR): leaves are matrix multiplies, divide/combine phases
+    are adds/subtracts, every statement writes a fresh matrix (SSA),
+    so any execution order respecting flow dependences computes the
+    same values — the property [test/test_workgen_prop.ml] checks
+    against {!Frontend.Interp}.  Statement distributions ([@row]/[@col])
+    are drawn with [twod_fraction].  Deterministic in [(spec, seed)];
+    [size] is the (uniform) matrix dimension. *)
+
+(** {1 Spec grammar}
+
+    Specs have a compact textual form used by the bench CLI
+    ([random:<spec>:<seed>]), the regression corpus and the replay env
+    var: comma-separated [key=value] overrides on {!default_spec},
+    e.g. ["depth=3,branch=2,cutoff=0.2"].  Keys: [depth], [branch],
+    [div], [comb], [cutoff], [wiring], [twod], [tau], [alpha],
+    [bytes], [taudecay], [bytesdecay].  Distributions render as a bare
+    float (constant), [u<lo>~<hi>] (uniform) or [l<lo>~<hi>]
+    (log-uniform), e.g. ["tau=l0.01~1"]. *)
+
+val spec_to_string : spec -> string
+(** Canonical full rendering (every key, [%g] floats);
+    [spec_of_string (spec_to_string s)] is [Ok s] for any valid spec
+    whose floats have at most six significant digits. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse overrides over {!default_spec}; validates the result. *)
+
+val spec_of_string_exn : string -> spec
+(** Raises [Invalid_argument] on a parse or validation error. *)
+
+(** {1 Shrinking} *)
+
+val shrink_spec : spec -> spec list
+(** One-step-smaller candidate specs, for property-test shrinking:
+    fewer levels, smaller fan-out, fewer divide/combine nodes, then
+    zeroed irregularity knobs and constant cost distributions.  Every
+    candidate is valid and strictly smaller under a well-founded
+    measure, so repeated shrinking terminates. *)

@@ -2,25 +2,21 @@
    MDGs and p in {4, 16, 64}, the PSA's finish time stays within the
    Theorem 3 factor of the convex optimum, and the Corollary 1
    processor bound is a power of two in [1, p] that establishes
-   Theorem 1's premise (no node allocated more than PB processors). *)
+   Theorem 1's premise (no node allocated more than PB processors).
 
-module G = Mdg.Graph
-module P = Costmodel.Params
+   Cases come from the shared Generators module and shrink toward
+   fewer layers / smaller width / smaller seeds. *)
 
-let synth_params () = P.make ~transfer:P.cm5_transfer
-
-let mdg_of_seed seed =
-  let shape = { Kernels.Workloads.default_shape with layers = 4; width = 4 } in
-  G.normalise (Kernels.Workloads.random_layered ~seed shape)
+let synth_params = Generators.synth_params
 
 let machine_sizes = [ 4; 16; 64 ]
 
 let prop_theorem3_all_p =
   QCheck.Test.make ~name:"T_psa <= theorem3_factor * Phi for p in {4,16,64}"
-    ~count:100
-    QCheck.(int_range 0 100_000)
-    (fun seed ->
-      let g = mdg_of_seed seed in
+    ~count:(Generators.count 100)
+    (Generators.layered ())
+    (fun case ->
+      let g = Generators.mdg_of_layered case in
       let p = synth_params () in
       List.for_all
         (fun procs ->
@@ -33,10 +29,10 @@ let prop_theorem3_all_p =
 let prop_corollary1_premise =
   QCheck.Test.make
     ~name:"Corollary-1 PB is a power of two establishing Theorem 1's premise"
-    ~count:100
-    QCheck.(int_range 0 100_000)
-    (fun seed ->
-      let g = mdg_of_seed seed in
+    ~count:(Generators.count 100)
+    (Generators.layered ())
+    (fun case ->
+      let g = Generators.mdg_of_layered case in
       let p = synth_params () in
       List.for_all
         (fun procs ->

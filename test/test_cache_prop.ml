@@ -9,28 +9,36 @@
    - procs-aware warm starts (ISSUE 7): a known shape at a new machine
      size is seeded from the nearest-procs optimum, rescaled, and the
      result stays within the warm-serving guard band;
-   - the [Core.Lru] recency/eviction contract behind both caches. *)
+   - the [Core.Lru] recency/eviction contract behind both caches.
+
+   Random graphs come from the shared Generators module and shrink
+   toward fewer layers / smaller width / smaller seeds. *)
 
 module G = Mdg.Graph
 module P = Core.Pipeline
 
-let base_params () = Costmodel.Params.make ~transfer:Costmodel.Params.cm5_transfer
+let base_params = Generators.synth_params
+let perturbed = Generators.perturbed
 
-(* Same-machine re-calibration: scale the per-byte transfer costs,
-   keep the processing table.  Distinct scale => distinct fingerprint,
-   same structural hash => the cached-plan path takes a shape hit. *)
-let perturbed ~scale params =
-  let tf = Costmodel.Params.transfer params in
-  let p =
-    Costmodel.Params.make
-      ~transfer:{ tf with t_ps = tf.t_ps *. scale; t_pr = tf.t_pr *. scale }
+(* A layered case paired with a transfer-constant scale drawn from a
+   small menu; shrinking reduces the graph and leaves the scale
+   alone (the scale is not what makes a counterexample large). *)
+let scaled_case =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* layers = int_range 1 3 in
+      let* width = int_range 1 3 in
+      let* scale = oneofl [ 0.9; 0.95; 1.05; 1.1 ] in
+      return ({ Generators.seed; layers; width }, scale))
   in
-  List.iter
-    (fun kernel ->
-      Costmodel.Params.set_processing p kernel
-        (Costmodel.Params.processing params kernel))
-    (Costmodel.Params.known_kernels params);
-  p
+  let print (c, scale) =
+    Printf.sprintf "%s, scale=%g" (Generators.layered_print c) scale
+  in
+  let shrink (c, scale) yield =
+    Generators.layered_shrink c (fun c -> yield (c, scale))
+  in
+  QCheck.make ~print ~shrink gen
 
 let plan_phi ?config req =
   match P.plan ?config req with
@@ -43,14 +51,10 @@ let plan_phi ?config req =
    solve beyond the guard band. *)
 let prop_warm_hit_phi_sound =
   QCheck.Test.make ~name:"warm shape hit: Phi within 1e-6 of cold solve"
-    ~count:15
-    QCheck.(pair (int_range 0 10_000) (float_range 0.9 1.1))
-    (fun (seed, scale) ->
-      QCheck.assume (Float.abs (scale -. 1.0) > 1e-6);
-      let g =
-        Kernels.Workloads.random_layered ~seed
-          { Kernels.Workloads.default_shape with layers = 3; width = 3 }
-      in
+    ~count:(Generators.count 15) scaled_case
+    (fun (case, scale) ->
+      let g = Generators.mdg_of_layered case in
+      let seed = case.Generators.seed in
       let params = base_params () in
       let params' = perturbed ~scale params in
       let procs = 16 in
@@ -79,13 +83,10 @@ let prop_warm_hit_phi_sound =
    bit-for-bit to the first solve's. *)
 let prop_exact_hit_phi_identical =
   QCheck.Test.make ~name:"warm exact hit: Phi identical to first solve"
-    ~count:15
-    QCheck.(int_range 0 10_000)
-    (fun seed ->
-      let g =
-        Kernels.Workloads.random_layered ~seed
-          { Kernels.Workloads.default_shape with layers = 3; width = 3 }
-      in
+    ~count:(Generators.count 15)
+    (Generators.layered ~max_layers:3 ~max_width:3 ())
+    (fun case ->
+      let g = Generators.mdg_of_layered case in
       let params = base_params () in
       let cache = Core.Plan_cache.create () in
       let config = P.(default_config |> with_cache cache) in
@@ -101,13 +102,11 @@ let prop_exact_hit_phi_identical =
    the warm-serving guard band of the cold solve at that size. *)
 let prop_procs_hit_phi_sound =
   QCheck.Test.make ~name:"warm procs hit: rescaled seed, Phi within 1e-6"
-    ~count:10
-    QCheck.(int_range 0 10_000)
-    (fun seed ->
-      let g =
-        Kernels.Workloads.random_layered ~seed
-          { Kernels.Workloads.default_shape with layers = 3; width = 3 }
-      in
+    ~count:(Generators.count 10)
+    (Generators.layered ~max_layers:3 ~max_width:3 ())
+    (fun case ->
+      let g = Generators.mdg_of_layered case in
+      let seed = case.Generators.seed in
       let params = base_params () in
       let cold = plan_phi (P.request params g ~procs:32) in
       let cache = Core.Plan_cache.create () in
@@ -231,24 +230,7 @@ let test_warm_shape_procs_capped () =
     (stats.warm_shape_hits <= 8);
   Alcotest.(check int) "no warm misses" 0 stats.warm_misses
 
-(* Structural signature over exactly the data the hash consumes, so a
-   hash collision between graphs with different signatures is a true
-   collision rather than a structurally-equal pair. *)
-let signature g =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf (string_of_int (G.num_nodes g));
-  Array.iter
-    (fun (nd : G.node) ->
-      Buffer.add_char buf '|';
-      Buffer.add_string buf (Format.asprintf "%a" G.pp_kernel nd.kernel))
-    (G.nodes g);
-  List.iter
-    (fun (e : G.edge) ->
-      Buffer.add_string buf
-        (Printf.sprintf "|%d>%d:%h:%s" e.src e.dst e.bytes
-           (match e.kind with Oned -> "1" | Twod -> "2")))
-    (G.edges g);
-  Buffer.contents buf
+let signature = Generators.signature
 
 let test_no_hash_collisions () =
   let shapes seed =

@@ -56,29 +56,64 @@ let load_golden path =
    with End_of_file -> close_in ic);
   !rows
 
+(* A golden-file row for the measured result, reusing the old row's
+   tolerances: what the file should say if the drift is intentional. *)
+let fresh_row name (r : Core.Allocation.result) exp =
+  Printf.sprintf "%-16s %.9f %g %d %d %d" name r.phi exp.phi_rel_tol
+    r.solver.stages r.solver.iterations exp.iter_tol
+
+let regen_command =
+  "PARADIGM_GOLDEN_REGEN=1 dune exec test/test_main.exe -- test golden \
+   --verbose"
+
 let test_golden () =
   (* dune runs tests from _build/default/test; golden/ is declared as a
      dependency of the test stanza. *)
   let golden = load_golden "golden/solver.golden" in
+  let problems = ref [] in
+  let fresh = ref [] in
+  let mismatch fmt =
+    Printf.ksprintf (fun m -> problems := m :: !problems) fmt
+  in
+  (* Check every case and every field before failing, so one run shows
+     the full extent of a drift (a solver change usually moves all
+     three programs at once). *)
   List.iter
     (fun (name, g, p) ->
-      let exp =
-        try List.assoc name golden
-        with Not_found -> Alcotest.failf "no golden row for %s" name
-      in
       let r = Core.Allocation.solve p (G.normalise g) ~procs:64 in
-      if
-        Float.abs (r.phi -. exp.phi) > exp.phi_rel_tol *. Float.abs exp.phi
-      then
-        Alcotest.failf "%s: Phi %.9f drifted from golden %.9f (rel tol %g)"
-          name r.phi exp.phi exp.phi_rel_tol;
-      if r.solver.stages <> exp.stages then
-        Alcotest.failf "%s: %d solver stages, golden %d" name r.solver.stages
-          exp.stages;
-      if abs (r.solver.iterations - exp.iterations) > exp.iter_tol then
-        Alcotest.failf "%s: %d iterations, golden %d (tol %d)" name
-          r.solver.iterations exp.iterations exp.iter_tol)
-    (cases ())
+      match List.assoc_opt name golden with
+      | None -> mismatch "%s: no golden row" name
+      | Some exp ->
+          fresh := fresh_row name r exp :: !fresh;
+          let delta = Float.abs (r.phi -. exp.phi) in
+          let allowed = exp.phi_rel_tol *. Float.abs exp.phi in
+          if delta > allowed then
+            mismatch
+              "%s: Phi %.9f vs golden %.9f — |delta| %.3g over tolerance \
+               %.3g (rel %g)"
+              name r.phi exp.phi delta allowed exp.phi_rel_tol;
+          if r.solver.stages <> exp.stages then
+            mismatch "%s: %d solver stages vs golden %d (exact-match field)"
+              name r.solver.stages exp.stages;
+          let drift = abs (r.solver.iterations - exp.iterations) in
+          if drift > exp.iter_tol then
+            mismatch "%s: %d iterations vs golden %d — drift %d over tol %d"
+              name r.solver.iterations exp.iterations drift exp.iter_tol)
+    (cases ());
+  if Sys.getenv_opt "PARADIGM_GOLDEN_REGEN" <> None then
+    Printf.printf
+      "\n# fresh rows for test/golden/solver.golden (current tolerances):\n%s\n"
+      (String.concat "\n" (List.rev !fresh));
+  match List.rev !problems with
+  | [] -> ()
+  | ps ->
+      Alcotest.failf
+        "%d golden mismatch(es):\n  %s\n\nIf the drift is intentional, print \
+         replacement rows with\n  %s\nand paste them into \
+         test/golden/solver.golden."
+        (List.length ps)
+        (String.concat "\n  " ps)
+        regen_command
 
 let suite =
   [ Alcotest.test_case "Phi and stage counts match golden" `Slow test_golden ]

@@ -24,6 +24,7 @@ let () =
       ("expand", Test_expand.suite);
       ("server", Test_server.suite);
       ("cache-prop", Test_cache_prop.suite);
+      ("workgen-prop", Test_workgen_prop.suite);
       ("par-tape", Test_par_tape.suite);
       ("integration", Test_integration.suite);
     ]
