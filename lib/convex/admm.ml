@@ -1,0 +1,393 @@
+module Vec = Numeric.Vec
+module Pool = Numeric.Domain_pool
+
+type export = { key : int; param : int }
+type import = { key : int; copy : int; param : int }
+
+type block = {
+  objective : Expr.t;
+  lo : Vec.t;
+  hi : Vec.t;
+  x0 : Vec.t;
+  exports : export array;
+  imports : import array;
+  area_param : int;
+  prox : (int * int) array;
+  links : (int * (int * int)) array;
+  measure : Vec.t -> float array * float;
+}
+
+type options = {
+  max_outer : int;
+  rho_init : float;
+  eps_abs : float;
+  eps_rel : float;
+  adapt_ratio : float;
+  solver : Solver.options;
+  domains : int;
+}
+
+let default_options =
+  {
+    max_outer = 30;
+    rho_init = 4.0;
+    eps_abs = 1e-8;
+    eps_rel = 1e-4;
+    adapt_ratio = 10.0;
+    solver = { Solver.default_options with Solver.accept_warm_start = true };
+    domains = Solver.default_options.Solver.domains;
+  }
+
+type stats = {
+  blocks : int;
+  outer_iterations : int;
+  inner_iterations : int;
+  primal_residual : float;
+  dual_residual : float;
+  rho_final : float;
+  converged : bool;
+  residuals : (float * float) array;
+}
+
+type result = {
+  solutions : Vec.t array;
+  phi : float;
+  t : float;
+  stats : stats;
+}
+
+let run ?(obs = Obs.null) ?(options = default_options) ~n_cons ~cost blocks =
+  let nb = Array.length blocks in
+  if nb = 0 then invalid_arg "Admm.run: empty block list";
+  if options.max_outer < 1 then invalid_arg "Admm.run: max_outer < 1";
+  (* Index the consensus topology.  Slot [n_cons] is the epigraph t. *)
+  let exporter = Array.make (n_cons + 1) (-1, -1) in
+  let importers = Array.make (Int.max n_cons 1) [] in
+  Array.iteri
+    (fun k b ->
+      Array.iteri
+        (fun ei (e : export) ->
+          if e.key < -1 || e.key >= n_cons then
+            invalid_arg "Admm.run: export key out of range";
+          let slot = if e.key < 0 then n_cons else e.key in
+          if fst exporter.(slot) >= 0 then
+            invalid_arg "Admm.run: duplicate exporter for a consensus slot";
+          exporter.(slot) <- (k, ei))
+        b.exports;
+      Array.iteri
+        (fun ii (i : import) ->
+          if i.key < 0 || i.key >= n_cons then
+            invalid_arg "Admm.run: import key out of range";
+          importers.(i.key) <- (k, ii) :: importers.(i.key))
+        b.imports)
+    blocks;
+  if fst exporter.(n_cons) < 0 then
+    invalid_arg "Admm.run: no block exports the epigraph variable";
+  for m = 0 to n_cons - 1 do
+    if fst exporter.(m) < 0 then
+      invalid_arg "Admm.run: consensus slot without an exporter"
+  done;
+  let importers = Array.map List.rev importers in
+  (* Mutable copies of the boxes: parameter entries are rewritten every
+     outer iteration; everything else keeps the caller's bounds. *)
+  let los = Array.map (fun b -> Vec.copy b.lo) blocks in
+  let his = Array.map (fun b -> Vec.copy b.hi) blocks in
+  let xs = Array.map (fun b -> Vec.clamp ~lo:b.lo ~hi:b.hi b.x0) blocks in
+  let compiled = Array.map (fun b -> Solver.compile ~obs b.objective) blocks in
+  let inner = Array.make nb 0 in
+  let meas_y = Array.make nb [||] in
+  let meas_a = Array.make nb 0.0 in
+  let measure_at k x =
+    let ys, area = blocks.(k).measure x in
+    if Array.length ys <> Array.length blocks.(k).exports then
+      invalid_arg "Admm.run: measure arity mismatch";
+    meas_y.(k) <- ys;
+    meas_a.(k) <- area
+  in
+  for k = 0 to nb - 1 do
+    measure_at k xs.(k)
+  done;
+  let yval slot =
+    let k, ei = exporter.(slot) in
+    meas_y.(k).(ei)
+  in
+  (* Consensus state: boundary times h, epigraph t, area shares a. *)
+  let h = Array.init (Int.max n_cons 1) (fun m -> if m < n_cons then yval m else 0.0) in
+  let sum_a = Array.fold_left ( +. ) 0.0 meas_a in
+  let t = ref (Float.max (yval n_cons) sum_a) in
+  let a = Array.copy meas_a in
+  let scale0 = Float.max !t 1e-9 in
+  let rho0 = options.rho_init /. scale0 in
+  let rho = ref rho0 in
+  (* Scaled duals: α per export (≥ 0), β per import (free), v per
+     block area (≥ 0). *)
+  let alpha = Array.map (fun b -> Array.make (Array.length b.exports) 0.0) blocks in
+  let beta = Array.map (fun b -> Array.make (Array.length b.imports) 0.0) blocks in
+  let v = Array.make nb 0.0 in
+  let pin k p value =
+    los.(k).(p) <- value;
+    his.(k).(p) <- value
+  in
+  let set_params () =
+    for k = 0 to nb - 1 do
+      let b = blocks.(k) in
+      Array.iteri
+        (fun ei (e : export) ->
+          let tgt = if e.key < 0 then !t else h.(e.key) in
+          pin k e.param (tgt -. alpha.(k).(ei)))
+        b.exports;
+      Array.iteri
+        (fun ii (i : import) -> pin k i.param (h.(i.key) -. beta.(k).(ii)))
+        b.imports;
+      pin k b.area_param (a.(k) -. v.(k));
+      Array.iter (fun (l, p) -> pin k p xs.(k).(l)) b.prox;
+      Array.iter (fun (p, (ob, ol)) -> pin k p xs.(ob).(ol)) b.links
+    done
+  in
+  let solver_opts = { options.solver with Solver.domains = 1 } in
+  let solve_block k =
+    let b = blocks.(k) in
+    let r : Solver.result =
+      Solver.solve ~options:solver_opts
+        ~engine:(Solver.Precompiled compiled.(k))
+        ~x0:xs.(k)
+        { Solver.objective = b.objective; lo = los.(k); hi = his.(k) }
+    in
+    xs.(k) <- r.x;
+    inner.(k) <- inner.(k) + r.iterations;
+    measure_at k r.x
+  in
+  let nd = Int.max 1 (Int.min options.domains nb) in
+  let solve_all pool =
+    match pool with
+    | None ->
+        for k = 0 to nb - 1 do
+          solve_block k
+        done
+    | Some p ->
+        let stride = Pool.size p in
+        Pool.run p (fun di ->
+            let k = ref di in
+            while !k < nb do
+              solve_block !k;
+              k := !k + stride
+            done)
+  in
+  (* Exact h-step: minimise (d − h)₊² + Σ_j (e_j − h)² over h, where
+     d = y + α prices the exporter's inequality and the e_j = η + β
+     price the importers' equalities. *)
+  let update_h () =
+    for m = 0 to n_cons - 1 do
+      let ek, ei = exporter.(m) in
+      let d = meas_y.(ek).(ei) +. alpha.(ek).(ei) in
+      match importers.(m) with
+      | [] -> h.(m) <- d
+      | imps ->
+          let n = List.length imps in
+          let es =
+            List.fold_left
+              (fun acc (k, ii) ->
+                let i = blocks.(k).imports.(ii) in
+                acc +. xs.(k).(i.copy) +. beta.(k).(ii))
+              0.0 imps
+          in
+          let h1 = (d +. es) /. float_of_int (1 + n) in
+          h.(m) <- (if h1 <= d then h1 else Float.max d (es /. float_of_int n))
+    done
+  in
+  (* Exact (t, a)-step: minimise t + ρ/2·[(d_stop − t)₊² + Σ(c_k − a_k)₊²]
+     s.t. Σ a_k ≤ t.  Water-filling gives a common gap θ = (Σc − t)₊/K,
+     and t is the root of the increasing derivative φ'. *)
+  let update_t_a () =
+    let sk, si = exporter.(n_cons) in
+    let d_stop = meas_y.(sk).(si) +. alpha.(sk).(si) in
+    let c = Array.init nb (fun k -> meas_a.(k) +. v.(k)) in
+    let sum_c = Array.fold_left ( +. ) 0.0 c in
+    let fk = float_of_int nb in
+    let dphi tt =
+      1.0
+      -. (!rho *. Float.max (d_stop -. tt) 0.0)
+      -. (!rho /. fk *. Float.max (sum_c -. tt) 0.0)
+    in
+    let hi0 = Float.max d_stop sum_c in
+    let lo0 =
+      let step = ref (Float.max (1.0 /. !rho) 1e-6) in
+      let l = ref (hi0 -. !step) in
+      let guard = ref 0 in
+      while dphi !l > 0.0 && !guard < 200 do
+        step := !step *. 2.0;
+        l := hi0 -. !step;
+        incr guard
+      done;
+      !l
+    in
+    let lo = ref lo0 and hi_ = ref hi0 in
+    for _ = 1 to 80 do
+      let mid = 0.5 *. (!lo +. !hi_) in
+      if dphi mid > 0.0 then hi_ := mid else lo := mid
+    done;
+    t := 0.5 *. (!lo +. !hi_);
+    let theta = Float.max (sum_c -. !t) 0.0 /. fk in
+    Array.iteri (fun k ck -> a.(k) <- ck -. theta) c
+  in
+  (* Primal residual over all consensus constraints (positive parts for
+     inequalities), plus the magnitude scale for relative tolerances. *)
+  let residuals () =
+    let pr2 = ref 0.0 and npr = ref 0 and sc = ref 1e-12 in
+    let add2 x =
+      pr2 := !pr2 +. (x *. x);
+      incr npr
+    in
+    for m = 0 to n_cons - 1 do
+      let ek, ei = exporter.(m) in
+      let ym = meas_y.(ek).(ei) in
+      sc := Float.max !sc (Float.max (Float.abs ym) (Float.abs h.(m)));
+      add2 (Float.max (ym -. h.(m)) 0.0);
+      List.iter
+        (fun (k, ii) ->
+          let i = blocks.(k).imports.(ii) in
+          let e = xs.(k).(i.copy) in
+          sc := Float.max !sc (Float.abs e);
+          add2 (e -. h.(m)))
+        importers.(m)
+    done;
+    let ys = yval n_cons in
+    sc := Float.max !sc (Float.max (Float.abs ys) (Float.abs !t));
+    add2 (Float.max (ys -. !t) 0.0);
+    for k = 0 to nb - 1 do
+      sc := Float.max !sc (Float.max (Float.abs meas_a.(k)) (Float.abs a.(k)));
+      add2 (Float.max (meas_a.(k) -. a.(k)) 0.0)
+    done;
+    (sqrt !pr2, !npr, !sc)
+  in
+  let dual_residual ~h_prev ~t_prev ~a_prev =
+    let s2 = ref 0.0 in
+    for m = 0 to n_cons - 1 do
+      let d = h.(m) -. h_prev.(m) in
+      s2 := !s2 +. (d *. d *. float_of_int (1 + List.length importers.(m)))
+    done;
+    let dt = !t -. t_prev in
+    s2 := !s2 +. (dt *. dt);
+    for k = 0 to nb - 1 do
+      let d = a.(k) -. a_prev.(k) in
+      s2 := !s2 +. (d *. d)
+    done;
+    !rho *. sqrt !s2
+  in
+  let update_duals () =
+    Array.iteri
+      (fun k b ->
+        Array.iteri
+          (fun ei (e : export) ->
+            let tgt = if e.key < 0 then !t else h.(e.key) in
+            alpha.(k).(ei) <-
+              Float.max 0.0 (alpha.(k).(ei) +. meas_y.(k).(ei) -. tgt))
+          b.exports;
+        Array.iteri
+          (fun ii (i : import) ->
+            beta.(k).(ii) <- beta.(k).(ii) +. xs.(k).(i.copy) -. h.(i.key))
+          b.imports;
+        v.(k) <- Float.max 0.0 (v.(k) +. meas_a.(k) -. a.(k)))
+      blocks
+  in
+  let dual_norm () =
+    let s2 = ref 0.0 in
+    Array.iter (Array.iter (fun x -> s2 := !s2 +. (x *. x))) alpha;
+    Array.iter (Array.iter (fun x -> s2 := !s2 +. (x *. x))) beta;
+    Array.iter (fun x -> s2 := !s2 +. (x *. x)) v;
+    !rho *. sqrt !s2
+  in
+  let scale_duals f =
+    Array.iter (fun al -> Array.iteri (fun i x -> al.(i) <- x *. f) al) alpha;
+    Array.iter (fun bl -> Array.iteri (fun i x -> bl.(i) <- x *. f) bl) beta;
+    Array.iteri (fun i x -> v.(i) <- x *. f) v
+  in
+  Obs.counter obs "solver.admm_blocks"
+    [ ("blocks", float_of_int nb); ("consensus", float_of_int n_cons) ];
+  let best_phi = ref infinity in
+  let best_xs = ref [||] in
+  let best_t = ref !t in
+  let hist = ref [] in
+  let pr_final = ref 0.0 and du_final = ref 0.0 in
+  let converged = ref false in
+  let outer = ref 0 in
+  let pool = if nd > 1 then Some (Pool.acquire ~size:nd) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.release pool)
+    (fun () ->
+      let continue_ = ref true in
+      while !continue_ && !outer < options.max_outer do
+        incr outer;
+        set_params ();
+        solve_all pool;
+        let h_prev = Array.copy h and t_prev = !t and a_prev = Array.copy a in
+        update_h ();
+        update_t_a ();
+        let pr, npr, sc = residuals () in
+        let du = dual_residual ~h_prev ~t_prev ~a_prev in
+        update_duals ();
+        let phi = cost xs in
+        if phi < !best_phi then begin
+          best_phi := phi;
+          best_xs := Array.map Vec.copy xs;
+          best_t := !t
+        end;
+        hist := (pr, du) :: !hist;
+        pr_final := pr;
+        du_final := du;
+        Obs.counter obs "solver.admm_outer"
+          [
+            ("iteration", float_of_int !outer);
+            ("rho", !rho);
+            ("primal", pr);
+            ("dual", du);
+            ("phi", phi);
+          ];
+        let eps_pri =
+          (options.eps_abs *. sqrt (float_of_int npr)) +. (options.eps_rel *. sc)
+        in
+        let eps_dua =
+          (options.eps_abs *. sqrt (float_of_int npr))
+          +. (options.eps_rel *. Float.max (dual_norm ()) sc)
+        in
+        if pr <= eps_pri && du <= eps_dua then begin
+          converged := true;
+          continue_ := false
+        end
+        else if pr > options.adapt_ratio *. du && !rho < rho0 *. 1e6 then begin
+          rho := !rho *. 2.0;
+          scale_duals 0.5
+        end
+        else if du > options.adapt_ratio *. pr && !rho > rho0 *. 1e-6 then begin
+          rho := !rho /. 2.0;
+          scale_duals 2.0
+        end
+      done);
+  if Array.length !best_xs = 0 then begin
+    best_xs := Array.map Vec.copy xs;
+    best_phi := cost xs
+  end;
+  Obs.counter obs "solver.admm_done"
+    [
+      ("outer", float_of_int !outer);
+      ("converged", if !converged then 1.0 else 0.0);
+      ("primal", !pr_final);
+      ("dual", !du_final);
+      ("rho", !rho);
+    ];
+  {
+    solutions = !best_xs;
+    phi = !best_phi;
+    t = !best_t;
+    stats =
+      {
+        blocks = nb;
+        outer_iterations = !outer;
+        inner_iterations = Array.fold_left ( + ) 0 inner;
+        primal_residual = !pr_final;
+        dual_residual = !du_final;
+        rho_final = !rho;
+        converged = !converged;
+        residuals = Array.of_list (List.rev !hist);
+      };
+  }

@@ -1,0 +1,138 @@
+(** Generic consensus-ADMM driver over block-decomposed convex programs.
+
+    The allocation program [min Φ = max(A_p, C_p)] decomposes per MDG
+    block (see {!Mdg.Partition} and {!Core.Decompose}): in epigraph
+    form [min t] s.t. [Σ_k A_k ≤ t] and [y_STOP ≤ t], each block [k]
+    owns its nodes' log-allocations, the finish times of its boundary
+    (cut-edge source) nodes couple blocks, and the area/critical-path
+    bound couples everything to the epigraph variable [t].
+
+    This module is the {e numeric} driver and knows nothing about
+    MDGs: a {!block} is a box-constrained convex objective (built by
+    the caller from hinge/affine penalties, see {!Expr.hinge}) plus
+    index metadata tying some of its variables to the consensus
+    quantities:
+
+    - {e exports}: for each boundary node the owning block exposes, a
+      pinned parameter carries the consensus target [h_m − α_m]
+      (or [t − α] for the epigraph export, [key = -1]); the block
+      objective penalises [hinge (y_m − param)].
+    - {e imports}: a downstream block reading boundary time [m] owns a
+      copy variable η with a two-sided penalty [sq_affine (η − param)]
+      against [h_m − β].
+    - {e area}: one pinned parameter per block carries its share
+      target [a_k − v_k]; the objective penalises [hinge (A_k − param)].
+    - {e prox} / {e links}: pinned parameters tracking the block's own
+      previous iterate (damping) and neighbour blocks' current
+      allocations (Gauss–Jacobi pricing of cross-cut transfers).
+
+    All penalties are ρ-free, so each block compiles to a tape {e
+    once}; outer iterations only rewrite the pinned parameters'
+    (degenerate) box bounds and re-solve warm-started through the
+    [Precompiled] engine.  Block solves run in parallel on a
+    {!Numeric.Domain_pool} (block [k] on participant [k mod domains];
+    results are deterministic regardless of scheduling).  The driver
+    closes each outer iteration with exact consensus updates — a
+    closed-form [h]-step, a water-filling [(t, a)]-step solved by
+    bisection — scaled-dual updates with adaptive ρ (duals rescaled on
+    every ρ change), and a Boyd-style primal/dual residual stopping
+    rule.  The best-Φ iterate (measured by the caller's [cost]
+    callback, typically one monolithic tape evaluation) is returned,
+    to be handed to the monolithic polish. *)
+
+type export = {
+  key : int;
+      (** consensus slot this export feeds: a boundary finish time in
+          [0, n_cons), or [-1] for the epigraph variable [t] (exactly
+          one block — the one owning STOP — exports it) *)
+  param : int;  (** pinned parameter variable carrying [h_m - α] *)
+}
+
+type import = {
+  key : int;  (** consensus slot in [0, n_cons) *)
+  copy : int;  (** local copy variable η for the boundary time *)
+  param : int;  (** pinned parameter variable carrying [h_m - β] *)
+}
+
+type block = {
+  objective : Expr.t;
+  lo : Numeric.Vec.t;
+  hi : Numeric.Vec.t;  (** box; parameter entries are overwritten *)
+  x0 : Numeric.Vec.t;  (** initial local iterate (projected into box) *)
+  exports : export array;
+  imports : import array;
+  area_param : int;  (** pinned parameter carrying [a_k - v_k] *)
+  prox : (int * int) array;
+      (** [(local, param)]: param tracks the block's own previous
+          iterate at [local] (proximal damping) *)
+  links : (int * (int * int)) array;
+      (** [(param, (block, local))]: param tracks another block's
+          current iterate (cross-cut transfer pricing) *)
+  measure : Numeric.Vec.t -> float array * float;
+      (** exact export values (in [exports] order) and block area at a
+          local solution; called once per block per outer iteration,
+          possibly from a pool domain *)
+}
+
+type options = {
+  max_outer : int;  (** outer (consensus) iteration cap *)
+  rho_init : float;
+      (** initial penalty, in units of 1/Φ — the driver divides by the
+          initial epigraph scale *)
+  eps_abs : float;  (** absolute residual tolerance (Boyd §3.3.1) *)
+  eps_rel : float;  (** relative residual tolerance *)
+  adapt_ratio : float;
+      (** double (halve) ρ when the primal residual exceeds
+          [adapt_ratio] times the dual one (and conversely), rescaling
+          the scaled duals to keep the unscaled ones fixed *)
+  solver : Solver.options;
+      (** per-block subproblem solver options; [domains] is forced to
+          1 inside block solves (the pool parallelism is across
+          blocks) *)
+  domains : int;  (** domains for parallel block solves; 1 = serial *)
+}
+
+val default_options : options
+(** 30 outer iterations, [rho_init = 4.], [eps_abs = 1e-8],
+    [eps_rel = 1e-4], [adapt_ratio = 10.], warm-start-accepting
+    defaults for the block solver, [domains] from the session default
+    ({!Solver.default_options}). *)
+
+type stats = {
+  blocks : int;
+  outer_iterations : int;  (** outer iterations performed *)
+  inner_iterations : int;  (** total block-solver iterations *)
+  primal_residual : float;  (** at the last outer iteration *)
+  dual_residual : float;
+  rho_final : float;
+  converged : bool;  (** the residual stopping rule fired *)
+  residuals : (float * float) array;
+      (** per-outer-iteration (primal, dual) residual history *)
+}
+
+type result = {
+  solutions : Numeric.Vec.t array;
+      (** per-block local iterates of the best-Φ outer iteration *)
+  phi : float;  (** [cost solutions] — the best value seen *)
+  t : float;  (** epigraph consensus value at that iteration *)
+  stats : stats;
+}
+
+val run :
+  ?obs:Obs.t ->
+  ?options:options ->
+  n_cons:int ->
+  cost:(Numeric.Vec.t array -> float) ->
+  block array ->
+  result
+(** Run consensus ADMM over the blocks.  [n_cons] is the number of
+    boundary consensus slots; every slot must have exactly one
+    exporter, the epigraph slot ([key = -1]) exactly one, and import
+    keys must be in range — [Invalid_argument] otherwise.  [cost] maps
+    the per-block iterates to the global objective (it is called once
+    per outer iteration, from the driver's own domain).
+
+    With a live [obs] sink the run emits ["solver.admm_blocks"] once
+    (block and consensus counts), ["solver.admm_outer"] per outer
+    iteration (iteration, ρ, primal/dual residuals, Φ) and
+    ["solver.admm_done"] at the end. *)

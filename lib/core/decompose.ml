@@ -1,0 +1,335 @@
+module E = Convex.Expr
+module G = Mdg.Graph
+module P = Costmodel.Params
+module T = Costmodel.Transfer
+module Vec = Numeric.Vec
+module Admm = Convex.Admm
+
+type mode = Off | Auto | On
+
+type options = {
+  mode : mode;
+  target_blocks : int;
+  node_threshold : int;
+  prox_weight : float;
+  admm : Admm.options;
+}
+
+let default_options =
+  {
+    mode = Auto;
+    target_blocks = 8;
+    node_threshold = 2000;
+    prox_weight = 0.05;
+    admm = Admm.default_options;
+  }
+
+type stats = {
+  blocks : int;
+  cut_edges : int;
+  consensus : int;
+  phi_admm : float;
+  admm : Admm.stats;
+}
+
+let active options g =
+  match options.mode with
+  | Off -> false
+  | On -> true
+  | Auto -> G.num_nodes g > options.node_threshold
+
+(* A built block: the Admm spec plus the index metadata needed to seed
+   the η copies from upstream blocks before the first solve. *)
+type built = {
+  spec : Admm.block;
+  imp_srcs : int array;  (** global ids of imported boundary sources *)
+  exp_srcs : int array;  (** global ids of exported boundary sources *)
+  x0 : Vec.t;  (** mutable: η entries are filled by the init pass *)
+  n_members : int;
+}
+
+let dedup_sorted l =
+  let a = List.sort_uniq compare l in
+  Array.of_list a
+
+let consensus ?(obs = Obs.null) ~options ~phi params g ~procs =
+  let part = Mdg.Partition.partition ~target:options.target_blocks g in
+  let nb = Mdg.Partition.num_blocks part in
+  if nb < 2 then None
+  else begin
+    let n = G.num_nodes g in
+    let lnp = log (float_of_int procs) in
+    let x0g = Vec.create n (0.5 *. lnp) in
+    (* One monolithic evaluation fixes the time scale everything else
+       hangs off: the proximal weight, the η boxes, and (inside Admm)
+       the initial ρ. *)
+    let scale0 = Float.max (phi x0g) 1e-9 in
+    let eta_hi = (20.0 *. scale0) +. 1.0 in
+    let w_prox = (options.prox_weight *. scale0) ** 2.0 in
+    let tr = P.transfer params in
+    let topo = Mdg.Analysis.topological_order g in
+    (* Consensus slots: one per distinct cut-edge source, ascending. *)
+    let key_of = Array.make n (-1) in
+    let sources =
+      dedup_sorted
+        (Array.to_list (Array.map (fun (e : G.edge) -> e.src) part.cut_edges))
+    in
+    Array.iteri (fun key m -> key_of.(m) <- key) sources;
+    let n_cons = Array.length sources in
+    (* Position of every node inside its owning block (members are
+       stored ascending, so the position is the rank). *)
+    let loc = Array.make n (-1) in
+    Array.iter
+      (fun members -> Array.iteri (fun li id -> loc.(id) <- li) members)
+      part.blocks;
+    let stop = G.stop_node g in
+    let build k =
+      let members = part.blocks.(k) in
+      let nk = Array.length members in
+      let local = Array.make n (-1) in
+      Array.iteri (fun li id -> local.(id) <- li) members;
+      let imp_srcs = ref [] and exp_srcs = ref [] and exts = ref [] in
+      Array.iter
+        (fun (e : G.edge) ->
+          if part.block_of.(e.dst) = k then begin
+            imp_srcs := e.src :: !imp_srcs;
+            exts := e.src :: !exts
+          end;
+          if part.block_of.(e.src) = k then begin
+            exp_srcs := e.src :: !exp_srcs;
+            exts := e.dst :: !exts
+          end)
+        part.cut_edges;
+      let imp_srcs = dedup_sorted !imp_srcs in
+      let exp_srcs = dedup_sorted !exp_srcs in
+      let exts = dedup_sorted !exts in
+      let ni = Array.length imp_srcs in
+      let ne = Array.length exp_srcs in
+      let nx = Array.length exts in
+      let has_stop = part.block_of.(stop) = k in
+      let ne_tot = ne + if has_stop then 1 else 0 in
+      (* Variable layout: locals, η copies, then the pinned parameters
+         (external allocations, consensus targets H/S/P, prox). *)
+      let eta_of = Array.make n (-1) in
+      Array.iteri (fun ii m -> eta_of.(m) <- nk + ii) imp_srcs;
+      let ext_of = Array.make n (-1) in
+      Array.iteri (fun xi m -> ext_of.(m) <- nk + ni + xi) exts;
+      let h_base = nk + ni + nx in
+      let s_param = h_base + ne_tot in
+      let p_base = s_param + 1 in
+      let x_base = p_base + ni in
+      let nvars = x_base + nk in
+      let vmap i = if local.(i) >= 0 then local.(i) else ext_of.(i) in
+      let node_weight i =
+        let nd = G.node g i in
+        let recvs =
+          List.map
+            (fun (e : G.edge) ->
+              T.receive_expr tr ~kind:e.kind ~bytes:e.bytes ~vi:(vmap e.src)
+                ~vj:(vmap e.dst))
+            (G.preds g i)
+        in
+        let sends =
+          List.map
+            (fun (e : G.edge) ->
+              T.send_expr tr ~kind:e.kind ~bytes:e.bytes ~vi:(vmap e.src)
+                ~vj:(vmap e.dst))
+            (G.succs g i)
+        in
+        let proc =
+          Costmodel.Processing.expr (P.processing params nd.kernel)
+            ~var:(local.(i))
+        in
+        E.sum (recvs @ (proc :: sends))
+      in
+      let node_area i =
+        let nd = G.node g i in
+        let recvs =
+          List.map
+            (fun (e : G.edge) ->
+              T.receive_times_p_expr tr ~kind:e.kind ~bytes:e.bytes
+                ~vi:(vmap e.src) ~vj:(vmap e.dst))
+            (G.preds g i)
+        in
+        let sends =
+          List.map
+            (fun (e : G.edge) ->
+              T.send_times_p_expr tr ~kind:e.kind ~bytes:e.bytes
+                ~vi:(vmap e.src) ~vj:(vmap e.dst))
+            (G.succs g i)
+        in
+        let proc =
+          Costmodel.Processing.expr_times_p (P.processing params nd.kernel)
+            ~var:(local.(i))
+        in
+        E.sum (recvs @ (proc :: sends))
+      in
+      let area =
+        E.scale
+          (1.0 /. float_of_int procs)
+          (E.sum (Array.to_list (Array.map node_area members)))
+      in
+      (* Block finish-time recurrence: in-block predecessors chain
+         directly; cut predecessors arrive through their η copy. *)
+      let y = Array.make nk None in
+      List.iter
+        (fun i ->
+          if local.(i) >= 0 then begin
+            let arrivals =
+              List.map
+                (fun (e : G.edge) ->
+                  let d =
+                    T.network_expr tr ~kind:e.kind ~bytes:e.bytes
+                      ~vi:(vmap e.src) ~vj:(vmap e.dst)
+                  in
+                  let ysrc =
+                    if local.(e.src) >= 0 then Option.get y.(local.(e.src))
+                    else E.affine ~bias:0.0 ~coefs:[ (eta_of.(e.src), 1.0) ]
+                  in
+                  E.add ysrc d)
+                (G.preds g i)
+            in
+            let start =
+              match arrivals with [] -> E.const 0.0 | _ -> E.max_ arrivals
+            in
+            y.(local.(i)) <- Some (E.add start (node_weight i))
+          end)
+        topo;
+      let export_exprs =
+        Array.init ne_tot (fun ei ->
+            if ei < ne then Option.get y.(local.(exp_srcs.(ei)))
+            else Option.get y.(local.(stop)))
+      in
+      let pens = ref [] in
+      Array.iteri
+        (fun ei ye ->
+          pens :=
+            E.hinge
+              (E.add ye (E.affine ~bias:0.0 ~coefs:[ (h_base + ei, -1.0) ]))
+            :: !pens)
+        export_exprs;
+      pens :=
+        E.hinge (E.add area (E.affine ~bias:0.0 ~coefs:[ (s_param, -1.0) ]))
+        :: !pens;
+      Array.iteri
+        (fun ii m ->
+          ignore m;
+          pens :=
+            E.sq_affine ~bias:0.0
+              ~coefs:[ (nk + ii, 1.0); (p_base + ii, -1.0) ]
+            :: !pens)
+        imp_srcs;
+      for li = 0 to nk - 1 do
+        pens :=
+          E.scale w_prox
+            (E.sq_affine ~bias:0.0 ~coefs:[ (li, 1.0); (x_base + li, -1.0) ])
+          :: !pens
+      done;
+      let objective = E.sum (List.rev !pens) in
+      let lo = Vec.create nvars 0.0 and hi = Vec.create nvars 0.0 in
+      let x0 = Vec.create nvars 0.0 in
+      for li = 0 to nk - 1 do
+        hi.(li) <- lnp;
+        x0.(li) <- x0g.(members.(li));
+        (* prox params start at the initial iterate *)
+        lo.(x_base + li) <- x0.(li);
+        hi.(x_base + li) <- x0.(li);
+        x0.(x_base + li) <- x0.(li)
+      done;
+      for ii = 0 to ni - 1 do
+        hi.(nk + ii) <- eta_hi
+        (* x0 η entries are seeded by the init pass below *)
+      done;
+      Array.iteri
+        (fun xi m ->
+          let p = nk + ni + xi in
+          lo.(p) <- x0g.(m);
+          hi.(p) <- x0g.(m);
+          x0.(p) <- x0g.(m);
+          ignore xi)
+        exts;
+      (* H/S/P parameter slots stay pinned at 0 until Admm's first
+         set_params; the measure exprs never read them. *)
+      let exports =
+        Array.init ne_tot (fun ei ->
+            if ei < ne then
+              { Admm.key = key_of.(exp_srcs.(ei)); param = h_base + ei }
+            else { Admm.key = -1; param = h_base + ei })
+      in
+      let imports =
+        Array.init ni (fun ii ->
+            {
+              Admm.key = key_of.(imp_srcs.(ii));
+              copy = nk + ii;
+              param = p_base + ii;
+            })
+      in
+      let links =
+        Array.map (fun m -> (ext_of.(m), (part.block_of.(m), loc.(m)))) exts
+      in
+      let prox = Array.init nk (fun li -> (li, x_base + li)) in
+      let measure x =
+        (Array.map (fun e -> E.eval e x) export_exprs, E.eval area x)
+      in
+      {
+        spec =
+          {
+            Admm.objective;
+            lo;
+            hi;
+            x0;
+            exports;
+            imports;
+            area_param = s_param;
+            prox;
+            links;
+            measure;
+          };
+        imp_srcs;
+        exp_srcs;
+        x0;
+        n_members = nk;
+      }
+    in
+    let built = Array.init nb build in
+    (* Seed the η copies: blocks are topologically monotone, so one
+       ascending pass computes every boundary finish time at x0 before
+       any block that imports it is measured. *)
+    let h0 = Array.make (Int.max n_cons 1) 0.0 in
+    Array.iter
+      (fun b ->
+        Array.iteri
+          (fun ii m -> b.x0.(b.n_members + ii) <- h0.(key_of.(m)))
+          b.imp_srcs;
+        let ys, _ = b.spec.Admm.measure b.x0 in
+        Array.iteri (fun ei m -> h0.(key_of.(m)) <- ys.(ei)) b.exp_srcs)
+      built;
+    let assemble sols =
+      let xg = Array.make n 0.0 in
+      Array.iteri
+        (fun k members ->
+          Array.iteri (fun li id -> xg.(id) <- sols.(k).(li)) members)
+        part.blocks;
+      xg
+    in
+    let cost sols = phi (assemble sols) in
+    let res =
+      Admm.run ~obs ~options:options.admm ~n_cons ~cost
+        (Array.map (fun b -> b.spec) built)
+    in
+    let xg = assemble res.Admm.solutions in
+    (* The consensus point feeds the monolithic polish; keep it inside
+       the monolithic box. *)
+    let xg =
+      Vec.clamp ~lo:(Vec.create n 0.0) ~hi:(Vec.create n lnp) xg
+    in
+    Some
+      ( xg,
+        {
+          blocks = nb;
+          cut_edges = Array.length part.cut_edges;
+          consensus = n_cons;
+          phi_admm = res.Admm.phi;
+          admm = res.Admm.stats;
+        } )
+  end

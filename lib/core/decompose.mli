@@ -1,0 +1,75 @@
+(** Consensus-ADMM decomposition of the allocation program.
+
+    Bridges {!Mdg.Partition} (which blocks own which nodes) and
+    {!Convex.Admm} (the numeric consensus driver): builds, per block,
+    a penalty objective over the block's own log-allocations plus
+    boundary finish-time copies, and maps the cross-block structure
+    onto Admm's export/import/area/link metadata.
+
+    Per block [k] the objective is a ρ-free penalty sum (so the tape
+    compiles once; see {!Convex.Admm}):
+    - [hinge (y_m − H_m)] for each boundary source [m] the block owns
+      ([H_m] a pinned parameter carrying the consensus target), plus
+      [hinge (y_STOP − T)] in the block owning STOP;
+    - [hinge (A_k − S_k)] for the block's area share;
+    - [sq_affine (η_m − P_m)] for each boundary time imported from an
+      upstream block ([η_m] a box-constrained copy variable);
+    - a small proximal damping [w·(x − x_prev)²] per local variable.
+
+    Cross-cut transfer terms price the {e other} endpoint's allocation
+    with a pinned parameter linked to the owning block's current
+    iterate (Gauss–Jacobi), so the union of block areas equals the
+    monolithic [A_p] whenever the linked values agree, and the finish
+    time recurrences compose across the cut through the η copies.
+
+    The consensus point is returned as a {e starting point} for the
+    monolithic solve: {!Core.Allocation.solve} hands it to the
+    existing warm-start probe and µ = 0 polish, whose never-worse
+    guard keeps the final Φ inside the monolithic stationarity band
+    regardless of how far the ADMM iterates got. *)
+
+type mode =
+  | Off  (** never decompose *)
+  | Auto  (** decompose when the graph has more than [node_threshold] nodes *)
+  | On  (** always decompose (degenerate single-block partitions still skip) *)
+
+type options = {
+  mode : mode;
+  target_blocks : int;  (** partition target (see {!Mdg.Partition}) *)
+  node_threshold : int;  (** [Auto] activation threshold, in nodes *)
+  prox_weight : float;
+      (** proximal damping weight as a fraction of the initial Φ scale *)
+  admm : Convex.Admm.options;  (** consensus driver options *)
+}
+
+val default_options : options
+(** [Auto] above 2000 nodes, 8 target blocks, 0.05 proximal weight,
+    {!Convex.Admm.default_options}. *)
+
+type stats = {
+  blocks : int;  (** partition blocks actually used *)
+  cut_edges : int;
+  consensus : int;  (** boundary finish-time consensus slots *)
+  phi_admm : float;  (** global Φ at the consensus point, before polish *)
+  admm : Convex.Admm.stats;
+}
+
+val active : options -> Mdg.Graph.t -> bool
+(** Does [options.mode] ask for decomposition of this graph?  (The
+    graph must be normalised for [Auto]/[On] to be meaningful.) *)
+
+val consensus :
+  ?obs:Obs.t ->
+  options:options ->
+  phi:(Numeric.Vec.t -> float) ->
+  Costmodel.Params.t ->
+  Mdg.Graph.t ->
+  procs:int ->
+  (Numeric.Vec.t * stats) option
+(** Partition the graph, run consensus ADMM over the blocks, and
+    return the assembled global log-allocation of the best-Φ iterate
+    ([phi] is the monolithic objective, used both for scaling the
+    penalties and for scoring iterates).  [None] when the partition
+    degenerates to a single block (nothing to decompose).  The result
+    lies inside the box [0, ln procs]^n and is intended as the [x0] of
+    the monolithic polish. *)

@@ -6,6 +6,7 @@ type config = {
   obs : Obs.t;
   cache : Plan_cache.t option;
   require_convergence : bool;
+  decompose : Decompose.options option;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     obs = Obs.null;
     cache = None;
     require_convergence = false;
+    decompose = None;
   }
 
 let with_solver_options solver_options config = { config with solver_options }
@@ -27,6 +29,8 @@ let with_cache cache config = { config with cache = Some cache }
 
 let with_require_convergence require_convergence config =
   { config with require_convergence }
+
+let with_decompose decompose config = { config with decompose = Some decompose }
 
 type request = {
   params : Costmodel.Params.t;
@@ -163,8 +167,8 @@ let solve_cached config cache (req : request) g =
       in
       let solve ?x0 () =
         Allocation.solve ~options:config.solver_options
-          ~engine:(`Precompiled compiled) ~obs ?x0 req.params g
-          ~procs:req.procs
+          ~engine:(`Precompiled compiled) ~obs ?x0
+          ?decompose:config.decompose req.params g ~procs:req.procs
       in
       let allocation, warm_use =
         match req.x0 with
@@ -222,7 +226,8 @@ let plan ?(config = default_config) (req : request) =
             | Some cache -> solve_cached config cache req g
             | None ->
                 ( Allocation.solve ~options:config.solver_options ~obs
-                    ?x0:req.x0 req.params g ~procs:req.procs,
+                    ?x0:req.x0 ?decompose:config.decompose req.params g
+                    ~procs:req.procs,
                   no_cache ))
       with
       | exception Invalid_argument msg -> Result.Error (Invalid_request msg)

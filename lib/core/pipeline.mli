@@ -63,6 +63,13 @@ type config = {
           the final exact stage misses its tolerance (default
           [false]: the iterate is still feasible and usually within
           the solver's accuracy band, so batch callers keep it) *)
+  decompose : Decompose.options option;
+      (** consensus-ADMM decomposed allocation (see {!Decompose} and
+          {!Allocation.solve}); [None] (default) keeps the monolithic
+          path.  With {!Decompose.default_options} the decomposition
+          auto-activates above the node threshold.  Ignored for
+          requests carrying an explicit [x0] or answered from the
+          warm cache. *)
 }
 
 val default_config : config
@@ -78,6 +85,8 @@ val with_obs : Obs.t -> config -> config
 val with_cache : Plan_cache.t -> config -> config
 
 val with_require_convergence : bool -> config -> config
+
+val with_decompose : Decompose.options -> config -> config
 
 (** {2 Requests and errors} *)
 

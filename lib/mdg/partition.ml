@@ -1,0 +1,131 @@
+type t = {
+  blocks : int array array;
+  block_of : int array;
+  cut_edges : Graph.edge array;
+}
+
+let num_blocks p = Array.length p.blocks
+
+(* Union-find with path compression; union by smaller root id keeps
+   the representative deterministic. *)
+let rec find uf i =
+  if uf.(i) = i then i
+  else begin
+    let r = find uf uf.(i) in
+    uf.(i) <- r;
+    r
+  end
+
+let union uf i j =
+  let ri = find uf i and rj = find uf j in
+  if ri <> rj then if ri < rj then uf.(rj) <- ri else uf.(ri) <- rj
+
+let partition ~target g =
+  if target < 1 then invalid_arg "Partition.partition: target < 1";
+  if not (Graph.is_normalised g) then
+    invalid_arg "Partition.partition: graph must be normalised";
+  let n = Graph.num_nodes g in
+  let start = Graph.start_node g and stop = Graph.stop_node g in
+  let interior i = i <> start && i <> stop in
+  (* Topological positions drive both the slicing of oversized
+     components and the final block order. *)
+  let pos = Array.make n 0 in
+  List.iteri (fun i id -> pos.(id) <- i) (Analysis.topological_order g);
+  let uf = Array.init n (fun i -> i) in
+  List.iter
+    (fun (e : Graph.edge) ->
+      if interior e.src && interior e.dst then union uf e.src e.dst)
+    (Graph.edges g);
+  (* Components of the interior, each sorted by topological position
+     (ascending node id within equal positions cannot happen: positions
+     are unique). *)
+  let comp_tbl : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    if interior i then begin
+      let r = find uf i in
+      let l = Option.value (Hashtbl.find_opt comp_tbl r) ~default:[] in
+      Hashtbl.replace comp_tbl r (i :: l)
+    end
+  done;
+  let interior_count = Hashtbl.fold (fun _ l a -> a + List.length l) comp_tbl 0 in
+  if interior_count = 0 || target = 1 then begin
+    (* Nothing to decompose: one block holding everything. *)
+    let all = Array.init n (fun i -> i) in
+    {
+      blocks = [| all |];
+      block_of = Array.make n 0;
+      cut_edges = [||];
+    }
+  end
+  else begin
+    let comps =
+      Hashtbl.fold (fun _ l acc -> Array.of_list l :: acc) comp_tbl []
+    in
+    List.iter
+      (fun c -> Array.sort (fun a b -> compare pos.(a) pos.(b)) c)
+      comps;
+    (* Fair share per block; components above it are sliced into
+       contiguous segments of their topological order, so the only
+       intra-component cut edges point from an earlier segment to a
+       later one. *)
+    let quota = Int.max 1 ((interior_count + target - 1) / target) in
+    let pieces =
+      List.concat_map
+        (fun c ->
+          let sz = Array.length c in
+          if sz <= quota then [ c ]
+          else begin
+            let k = (sz + quota - 1) / quota in
+            let chunk = (sz + k - 1) / k in
+            List.init k (fun i ->
+                let lo = i * chunk in
+                Array.sub c lo (Int.min chunk (sz - lo)))
+            |> List.filter (fun a -> Array.length a > 0)
+          end)
+        comps
+    in
+    (* Earliest-node order makes segment blocks monotone along every
+       edge; pieces from different components carry no edges at all. *)
+    let pieces =
+      List.sort (fun a b -> compare pos.(a.(0)) pos.(b.(0))) pieces
+    in
+    (* Greedy linear merge into at most [target] balanced blocks. *)
+    let blocks = ref [] in
+    let current = ref [] and cur_size = ref 0 and closed = ref 0 in
+    let close () =
+      if !current <> [] then begin
+        blocks := List.rev !current :: !blocks;
+        incr closed;
+        current := [];
+        cur_size := 0
+      end
+    in
+    List.iter
+      (fun piece ->
+        current := piece :: !current;
+        cur_size := !cur_size + Array.length piece;
+        if !cur_size >= quota && !closed < target - 1 then close ())
+      pieces;
+    close ();
+    (* [!blocks] holds the most recently closed block first; rev_map
+       restores closing order. *)
+    let blocks = List.rev_map (fun ps -> Array.concat ps) !blocks in
+    let blocks = Array.of_list blocks in
+    let nb = Array.length blocks in
+    (* START opens the first block, STOP closes the last; node ids
+       ascending within each block for a canonical result. *)
+    blocks.(0) <- Array.append [| start |] blocks.(0);
+    blocks.(nb - 1) <- Array.append blocks.(nb - 1) [| stop |];
+    Array.iter (fun b -> Array.sort compare b) blocks;
+    let block_of = Array.make n 0 in
+    Array.iteri
+      (fun bi members -> Array.iter (fun id -> block_of.(id) <- bi) members)
+      blocks;
+    let cut_edges =
+      List.filter
+        (fun (e : Graph.edge) -> block_of.(e.src) <> block_of.(e.dst))
+        (Graph.edges g)
+      |> Array.of_list
+    in
+    { blocks; block_of; cut_edges }
+  end

@@ -1,0 +1,41 @@
+(** MDG partitioning for the decomposed (consensus-ADMM) solver.
+
+    The allocation objective is separable by construction: node terms
+    couple only through the shared [A_p]/[C_p] bound, and the finish-
+    time recurrence couples a node only to its predecessors.  Cutting
+    the MDG into blocks therefore cuts the convex program into block
+    subproblems that talk through (a) the global area/critical-path
+    consensus and (b) the finish times of cut-edge sources.
+
+    Strategy: drop START/STOP, take the weakly-connected components of
+    the interior (divide-combine workloads often split cleanly), and
+    slice any component larger than its fair share into contiguous
+    segments of the topological order — the critical-path recurrence
+    then only crosses block boundaries forward.  Pieces are merged
+    greedily (in topological order of their earliest node) into at
+    most [target] balanced blocks; START joins the first block and
+    STOP the last.
+
+    Invariants, relied on by {!Core.Decompose} and pinned by the
+    property suite:
+    - every node appears in exactly one block;
+    - blocks are non-empty, node ids ascending within a block;
+    - for every edge, [block_of src <= block_of dst] (so imports
+      always come from earlier-or-same blocks);
+    - the result is deterministic for a given graph and [target]. *)
+
+type t = private {
+  blocks : int array array;  (** block -> member node ids, ascending *)
+  block_of : int array;  (** node id -> owning block *)
+  cut_edges : Graph.edge array;
+      (** edges whose endpoints live in different blocks, in
+          {!Graph.edges} order *)
+}
+
+val partition : target:int -> Graph.t -> t
+(** Partition a {e normalised} graph into at most [target] blocks
+    (fewer when the graph is small; at least one).  Raises
+    [Invalid_argument] if the graph is not normalised or
+    [target < 1]. *)
+
+val num_blocks : t -> int

@@ -1,0 +1,285 @@
+(* Property suite for the consensus-ADMM decomposed solver (ISSUE 9):
+
+   1. the decomposed path's final Φ stays within the monolithic
+      solver's 1e-5 relative stationarity band (the ADMM consensus
+      point seeds the monolithic polish, whose never-worse guard
+      anchors the bound);
+   2. Mdg.Partition covers every node exactly once with non-empty,
+      ascending, edge-monotone, deterministic blocks;
+   3. the consensus residual history is well-formed under the stopping
+      rule: one (primal, dual) pair per outer iteration, the running
+      best primal residual is non-increasing, and a converged run's
+      last iteration is its best;
+   4. [decompose] off (or Auto below threshold) is bit-identical to
+      the plain solver — same Φ, same allocation, no stats.
+
+   Every entry of test/corpus/workgen.seeds (including the high-fan-out
+   pins appended for this suite) is replayed through the
+   ADMM-vs-monolithic and partition checks on every run.  Failures
+   shrink via Workgen.shrink_spec as in test_workgen_prop. *)
+
+module G = Mdg.Graph
+module W = Workgen
+module D = Core.Decompose
+
+let synth_params = Generators.synth_params
+let procs = 16
+
+(* Force the decomposition on regardless of graph size, with few
+   enough blocks that even shrunk counterexamples split. *)
+let on ?(target = 4) () =
+  { D.default_options with D.mode = D.On; target_blocks = target }
+
+let phi_band phi = 1e-5 *. (1.0 +. Float.abs phi)
+
+(* ------------------------------------------------------------------ *)
+(* The invariant bundle (shared by QCheck and corpus replay)           *)
+(* ------------------------------------------------------------------ *)
+
+let check_partition fail g ~target =
+  let part = Mdg.Partition.partition ~target g in
+  let n = G.num_nodes g in
+  let nb = Mdg.Partition.num_blocks part in
+  if nb < 1 then fail "no blocks";
+  if nb > Int.max 1 target then
+    fail (Printf.sprintf "%d blocks exceed target %d" nb target);
+  let seen = Array.make n 0 in
+  Array.iter
+    (fun members ->
+      if Array.length members = 0 then fail "empty block";
+      Array.iteri
+        (fun i id ->
+          if id < 0 || id >= n then fail "member out of range";
+          if i > 0 && members.(i - 1) >= id then
+            fail "member ids not strictly ascending";
+          seen.(id) <- seen.(id) + 1)
+        members)
+    part.Mdg.Partition.blocks;
+  Array.iteri
+    (fun id c ->
+      if c <> 1 then
+        fail (Printf.sprintf "node %d appears in %d blocks" id c))
+    seen;
+  Array.iteri
+    (fun id b ->
+      if b < 0 || b >= nb then fail "block_of out of range";
+      if not (Array.exists (( = ) id) part.Mdg.Partition.blocks.(b)) then
+        fail "block_of disagrees with blocks")
+    part.Mdg.Partition.block_of;
+  List.iter
+    (fun (e : G.edge) ->
+      if part.Mdg.Partition.block_of.(e.src) > part.Mdg.Partition.block_of.(e.dst)
+      then
+        fail
+          (Printf.sprintf "edge %d->%d crosses blocks backwards" e.src e.dst))
+    (G.edges g);
+  let cuts =
+    List.filter
+      (fun (e : G.edge) ->
+        part.Mdg.Partition.block_of.(e.src)
+        <> part.Mdg.Partition.block_of.(e.dst))
+      (G.edges g)
+  in
+  if List.length cuts <> Array.length part.Mdg.Partition.cut_edges then
+    fail "cut_edges disagrees with block_of";
+  (* Determinism: a second partition is structurally identical. *)
+  let part' = Mdg.Partition.partition ~target g in
+  if part.Mdg.Partition.blocks <> part'.Mdg.Partition.blocks then
+    fail "partition is not deterministic"
+
+let check_admm_matches fail g ~procs =
+  let params = synth_params () in
+  let mono = Core.Allocation.solve params g ~procs in
+  let dec = Core.Allocation.solve ~decompose:(on ()) params g ~procs in
+  (* One-sided: the consensus seed goes through the monolithic polish
+     with its never-worse guard, so the decomposed Phi may be *better*
+     than the cold solve (it skips the anneal's smoothing plateaus) but
+     must never be worse beyond the stationarity band. *)
+  let band = phi_band mono.phi in
+  if dec.phi -. mono.phi > band then
+    fail
+      (Printf.sprintf "decomposed Phi %.9g worse than monolithic %.9g (band %.3g)"
+         dec.phi mono.phi band);
+  match dec.decomposed with
+  | None -> () (* single-block partition: the monolithic path ran *)
+  | Some st ->
+      if st.D.blocks < 2 then fail "decomposed stats with fewer than 2 blocks";
+      if st.D.admm.Convex.Admm.outer_iterations < 1 then
+        fail "decomposition ran zero outer iterations";
+      (* The consensus point itself can sit above the optimum (the
+         polish closes the gap), but it must be a finite, in-band-or-
+         better-than-x0 objective value. *)
+      if not (Float.is_finite st.D.phi_admm) then
+        fail "consensus-point Phi is not finite"
+
+let check_residual_history fail g ~procs =
+  let params = synth_params () in
+  let dec = Core.Allocation.solve ~decompose:(on ()) params g ~procs in
+  match dec.decomposed with
+  | None -> ()
+  | Some st ->
+      let a = st.D.admm in
+      let res = a.Convex.Admm.residuals in
+      if Array.length res <> a.Convex.Admm.outer_iterations then
+        fail
+          (Printf.sprintf "%d residual pairs for %d outer iterations"
+             (Array.length res) a.Convex.Admm.outer_iterations);
+      Array.iter
+        (fun (pr, du) ->
+          if pr < 0.0 || du < 0.0 || not (Float.is_finite (pr +. du)) then
+            fail "residuals must be finite and non-negative")
+        res;
+      (* Monotone under the stopping rule: the running best primal
+         residual never increases, and a converged run stops at its
+         best (the rule fires the first time the band is entered). *)
+      let best = ref infinity in
+      Array.iter
+        (fun (pr, _) -> if pr < !best then best := pr)
+        res;
+      let last_pr, _ = res.(Array.length res - 1) in
+      if a.Convex.Admm.converged && last_pr > !best then
+        fail
+          (Printf.sprintf
+             "converged run stopped at primal %.3g above its best %.3g"
+             last_pr !best);
+      if a.Convex.Admm.primal_residual <> last_pr then
+        fail "stats.primal_residual is not the last history entry"
+
+let check_off_identical fail g ~procs =
+  let params = synth_params () in
+  let plain = Core.Allocation.solve params g ~procs in
+  let off =
+    Core.Allocation.solve
+      ~decompose:{ (on ()) with D.mode = D.Off }
+      params g ~procs
+  in
+  if off.decomposed <> None then fail "mode Off produced decompose stats";
+  if off.phi <> plain.phi then
+    fail
+      (Printf.sprintf "Off Phi %.17g <> plain %.17g" off.phi plain.phi);
+  if off.alloc <> plain.alloc then fail "Off allocation differs from plain";
+  (* Auto below the node threshold is equally inert. *)
+  let auto =
+    Core.Allocation.solve
+      ~decompose:{ D.default_options with D.node_threshold = G.num_nodes g }
+      params g ~procs
+  in
+  if auto.decomposed <> None then
+    fail "Auto below threshold produced decompose stats";
+  if auto.phi <> plain.phi || auto.alloc <> plain.alloc then
+    fail "Auto below threshold is not bit-identical to plain"
+
+(* The full bundle, for corpus pins. *)
+let check_all fail spec seed =
+  let g = W.generate spec ~seed in
+  List.iter (fun target -> check_partition fail g ~target) [ 1; 2; 4; 8 ];
+  check_admm_matches fail g ~procs;
+  check_residual_history fail g ~procs;
+  check_off_identical fail g ~procs
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qfail msg = QCheck.Test.fail_report msg
+
+let prop name ~count ?(arb = Generators.workgen_case ()) body =
+  QCheck.Test.make ~name ~count:(Generators.count count) arb (fun case ->
+      body case.Generators.wg_spec case.Generators.wg_seed;
+      true)
+
+let prop_partition =
+  prop "partition: exact cover, monotone blocks, deterministic" ~count:40
+    (fun spec seed ->
+      let g = W.generate spec ~seed in
+      List.iter (fun target -> check_partition qfail g ~target) [ 1; 2; 3; 8 ])
+
+let prop_admm_phi =
+  prop "decomposed Phi within 1e-5 relative of monolithic" ~count:8
+    (fun spec seed -> check_admm_matches qfail (W.generate spec ~seed) ~procs)
+
+let prop_residuals =
+  prop "residual history well-formed under the stopping rule" ~count:6
+    (fun spec seed ->
+      check_residual_history qfail (W.generate spec ~seed) ~procs)
+
+let prop_off_identical =
+  prop "decompose off / below threshold is bit-identical" ~count:8
+    (fun spec seed -> check_off_identical qfail (W.generate spec ~seed) ~procs)
+
+(* ------------------------------------------------------------------ *)
+(* Strassen pins: the paper's program, decomposed                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_strassen_decomposed () =
+  let gt = Machine.Ground_truth.cm5_like () in
+  let levels = 2 and n = 128 in
+  let g = G.normalise (Kernels.Strassen_mdg.graph_recursive ~levels ~n) in
+  let params, _, _ =
+    Machine.Measure.calibrate gt
+      ~procs:[ 1; 2; 4; 8; 16; 32; 64 ]
+      (Kernels.Strassen_mdg.kernels_recursive ~levels ~n)
+  in
+  let mono = Core.Allocation.solve params g ~procs:64 in
+  let dec =
+    Core.Allocation.solve ~decompose:(on ~target:4 ()) params g ~procs:64
+  in
+  (match dec.decomposed with
+  | None -> Alcotest.fail "strassen-l2 did not decompose"
+  | Some st ->
+      Alcotest.(check bool)
+        "at least 4 blocks" true
+        (st.D.blocks >= 4);
+      Alcotest.(check bool)
+        "consensus slots exist" true (st.D.consensus > 0));
+  let band = phi_band mono.phi in
+  Alcotest.(check bool)
+    (Printf.sprintf "decomposed Phi %.9f not worse than %.9f" dec.phi mono.phi)
+    true
+    (dec.phi -. mono.phi <= band)
+
+(* The pipeline surface: with_decompose threads the options through
+   plan, and the plan's allocation carries the stats. *)
+let test_pipeline_decomposed () =
+  let g = Generators.mdg_of_seed ~layers:4 ~width:4 42 in
+  let params = synth_params () in
+  let module P = Core.Pipeline in
+  let config = P.(default_config |> with_decompose (on ())) in
+  let plan = P.plan_exn ~config params g ~procs in
+  let plain = P.plan_exn params g ~procs in
+  (match plan.P.allocation.decomposed with
+  | None -> ()
+  | Some st ->
+      Alcotest.(check bool) "blocks >= 2" true (st.D.blocks >= 2));
+  let band = phi_band (P.phi plain) in
+  if P.phi plan -. P.phi plain > band then
+    Alcotest.failf "pipeline decomposed Phi %.9g worse than plain %.9g (band %.3g)"
+      (P.phi plan) (P.phi plain) band
+
+(* ------------------------------------------------------------------ *)
+(* Corpus replay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_replay () =
+  let entries = Test_workgen_prop.load_corpus () in
+  Alcotest.(check bool) "corpus is not empty" true (entries <> []);
+  List.iter
+    (fun (spec, seed) ->
+      let fail msg =
+        Alcotest.failf "corpus pin %s seed %d: %s" (W.spec_to_string spec)
+          seed msg
+      in
+      check_all fail spec seed)
+    entries
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_partition; prop_admm_phi; prop_residuals; prop_off_identical ]
+  @ [
+      Alcotest.test_case "strassen-l2 decomposes into the monolithic band"
+        `Slow test_strassen_decomposed;
+      Alcotest.test_case "pipeline threads decompose options" `Quick
+        test_pipeline_decomposed;
+      Alcotest.test_case "corpus replay (ADMM bundle)" `Slow
+        test_corpus_replay;
+    ]

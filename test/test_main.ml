@@ -25,6 +25,7 @@ let () =
       ("server", Test_server.suite);
       ("cache-prop", Test_cache_prop.suite);
       ("workgen-prop", Test_workgen_prop.suite);
+      ("admm-prop", Test_admm_prop.suite);
       ("par-tape", Test_par_tape.suite);
       ("integration", Test_integration.suite);
     ]

@@ -386,7 +386,11 @@ let test_structural_corners () =
 (* Corpus replay                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let corpus_path = "corpus/workgen.seeds"
+(* dune runs the test binary from _build/default/test; `dune exec
+   test/test_main.exe` from the repo root needs the source-tree path. *)
+let corpus_path =
+  if Sys.file_exists "corpus/workgen.seeds" then "corpus/workgen.seeds"
+  else "test/corpus/workgen.seeds"
 
 let load_corpus () =
   let ic = open_in corpus_path in
