@@ -379,8 +379,17 @@ let serve_cmd =
     let doc = "Worker-domain pool size." in
     Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
   in
-  let run port addr workers machine trace metrics =
+  let max_pending =
+    let doc =
+      "Bound on admitted connections waiting for a worker; beyond \
+       workers+$(docv) in the system, new connections are shed with a typed \
+       'overloaded' reply and a retry-after hint instead of queueing."
+    in
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N" ~doc)
+  in
+  let run port addr workers max_pending machine trace metrics =
     if workers < 1 then fail_msg "worker count must be >= 1";
+    if max_pending < 0 then fail_msg "max-pending must be >= 0";
     let gt = ground_truth machine in
     let tel = telemetry ~trace ~metrics in
     let options =
@@ -389,6 +398,7 @@ let serve_cmd =
         addr;
         port;
         workers;
+        max_pending;
         config = Core.Pipeline.(default_config |> with_obs tel.obs);
         default_params =
           lazy
@@ -423,12 +433,31 @@ let serve_cmd =
     prerr_endline "shutting down (draining in-flight requests)...";
     Server.Daemon.stop srv;
     let s = Server.Daemon.stats srv in
+    let srv_stats = Server.Daemon.server_stats srv in
     Printf.printf
-      "served %d requests on %d connections; tape cache %d hits / %d misses; \
-       warm cache %d exact + %d shape hits / %d misses\n"
+      "served %d requests on %d connections (%d shed); tape cache %d hits / \
+       %d misses; warm cache %d exact + %d shape hits / %d misses; coalesced \
+       %d requests onto %d solves\n"
       (Server.Daemon.requests_served srv)
       (Server.Daemon.connections_accepted srv)
-      s.tape_hits s.tape_misses s.warm_hits s.warm_shape_hits s.warm_misses;
+      (Server.Daemon.connections_shed srv)
+      s.tape_hits s.tape_misses s.warm_hits s.warm_shape_hits s.warm_misses
+      s.coalesce_hits s.coalesce_leaders;
+    if metrics then begin
+      (* Per-op latency histogram — the serving-side counters the
+         telemetry summary cannot see. *)
+      print_string "request latency (ms buckets:";
+      Array.iter (fun b -> Printf.printf " <=%g" b) srv_stats.bounds_ms;
+      print_string " overflow)\n";
+      List.iter
+        (fun (l : Server.Protocol.op_latency) ->
+          if Array.exists (fun c -> c > 0) l.buckets then begin
+            Printf.printf "  %-6s" l.op;
+            Array.iter (fun c -> Printf.printf " %6d" c) l.buckets;
+            print_newline ()
+          end)
+        srv_stats.latency
+    end;
     tel.finish ()
   in
   Cmd.v
@@ -437,7 +466,8 @@ let serve_cmd =
          "Run the concurrent plan server (newline-delimited JSON over TCP; \
           see the README's Serving section for the protocol).")
     Term.(
-      const run $ port $ addr $ workers $ machine_arg $ trace_arg $ metrics_arg)
+      const run $ port $ addr $ workers $ max_pending $ machine_arg $ trace_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 

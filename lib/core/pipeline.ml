@@ -71,6 +71,7 @@ type cache_outcome = {
   tape : cache_use;
   warm : cache_use;
   solve_skipped : bool;
+  coalesced : bool;
 }
 
 type plan = {
@@ -83,7 +84,7 @@ type plan = {
   cache : cache_outcome;
 }
 
-let no_cache = { tape = Off; warm = Off; solve_skipped = false }
+let no_cache = { tape = Off; warm = Off; solve_skipped = false; coalesced = false }
 
 (* Allocation/PSA validation failures surface as [Invalid_argument];
    uncalibrated kernels as [Not_found] from the parameter table.  The
@@ -124,6 +125,7 @@ let emit_cache_counter obs outcome =
         ( "warm_hit",
           match outcome.warm with Hit | Shape_hit -> 1.0 | _ -> 0.0 );
         ("solve_skipped", if outcome.solve_skipped then 1.0 else 0.0);
+        ("coalesced", if outcome.coalesced then 1.0 else 0.0);
       ]
 
 (* Solve the allocation through the configured cache.  An exact
@@ -155,57 +157,100 @@ let solve_cached config cache (req : request) g =
           tape = (if Plan_cache.tape_cached cache key then Hit else Miss);
           warm = Hit;
           solve_skipped = true;
+          coalesced = false;
         }
       in
       emit_cache_counter obs outcome;
       (allocation, outcome)
   | (None | Some (Seed _)) as hit ->
-      let compiled, tape_use =
-        Plan_cache.tape cache key ~compile:(fun () ->
-            Convex.Solver.compile ~obs
-              (Allocation.objective req.params g ~procs:req.procs))
+      (* The miss path proper: compile (through the tape cache), solve,
+         record.  Returns the per-request cache outcome alongside the
+         allocation so the coalescing wrapper below can surface the
+         leader's view. *)
+      let run_miss () =
+        let compiled, tape_use =
+          Plan_cache.tape cache key ~compile:(fun () ->
+              Convex.Solver.compile ~obs
+                (Allocation.objective req.params g ~procs:req.procs))
+        in
+        let solve ?x0 () =
+          Allocation.solve ~options:config.solver_options
+            ~engine:(`Precompiled compiled) ~obs ?x0
+            ?decompose:config.decompose req.params g ~procs:req.procs
+        in
+        let allocation, warm_use =
+          match req.x0 with
+          | Some x -> (solve ~x0:x (), Off)
+          | None -> (
+              match hit with
+              | Some (Plan_cache.Seed seed) ->
+                  (* Warm-serving guarantee: a seeded solve's smoothing
+                     ladder is scaled by its start point, so from a
+                     sibling optimum it can stall measurably above what
+                     the cold solve finds.  Solve cold-deterministically
+                     (bit-identical to the uncached path) and use the
+                     sibling optimum only as a candidate: when the
+                     current objective values it below the cold answer, a
+                     seeded re-solve polishes it further, and the better
+                     of the two is kept — the seed can improve the plan,
+                     never degrade it (test_cache_prop exercises this). *)
+                  let cold = solve () in
+                  let seed_phi =
+                    Convex.Solver.eval_compiled compiled seed
+                  in
+                  let best =
+                    if seed_phi < cold.phi then
+                      let seeded = solve ~x0:seed () in
+                      if seeded.phi < cold.phi then seeded else cold
+                    else cold
+                  in
+                  (best, Shape_hit)
+              | _ -> (solve (), Miss))
+        in
+        Plan_cache.store_warm cache key allocation;
+        (allocation, tape_use, warm_use)
       in
-      let solve ?x0 () =
-        Allocation.solve ~options:config.solver_options
-          ~engine:(`Precompiled compiled) ~obs ?x0
-          ?decompose:config.decompose req.params g ~procs:req.procs
-      in
-      let allocation, warm_use =
+      let allocation, outcome =
         match req.x0 with
-        | Some x -> (solve ~x0:x (), Off)
+        | Some _ ->
+            (* An explicit x0 is not part of the cache key, so two
+               requests with the same key can legitimately want
+               different solves — never coalesce them. *)
+            let allocation, tape_use, warm_use = run_miss () in
+            ( allocation,
+              {
+                tape = (match tape_use with `Hit -> Hit | `Miss -> Miss);
+                warm = warm_use;
+                solve_skipped = allocation.solver.iterations = 0;
+                coalesced = false;
+              } )
         | None -> (
-            match hit with
-            | Some (Plan_cache.Seed seed) ->
-                (* Warm-serving guarantee: a seeded solve's smoothing
-                   ladder is scaled by its start point, so from a
-                   sibling optimum it can stall measurably above what
-                   the cold solve finds.  Solve cold-deterministically
-                   (bit-identical to the uncached path) and use the
-                   sibling optimum only as a candidate: when the
-                   current objective values it below the cold answer, a
-                   seeded re-solve polishes it further, and the better
-                   of the two is kept — the seed can improve the plan,
-                   never degrade it (test_cache_prop exercises this). *)
-                let cold = solve () in
-                let seed_phi =
-                  Convex.Solver.eval_compiled compiled seed
-                in
-                let best =
-                  if seed_phi < cold.phi then
-                    let seeded = solve ~x0:seed () in
-                    if seeded.phi < cold.phi then seeded else cold
-                  else cold
-                in
-                (best, Shape_hit)
-            | _ -> (solve (), Miss))
-      in
-      Plan_cache.store_warm cache key allocation;
-      let outcome =
-        {
-          tape = (match tape_use with `Hit -> Hit | `Miss -> Miss);
-          warm = warm_use;
-          solve_skipped = allocation.solver.iterations = 0;
-        }
+            (* Singleflight: concurrent identical misses block on one
+               solve and share its result; a leader failure re-raises
+               in every waiter (caught as a typed error above). *)
+            let leader_uses = ref None in
+            let allocation, role =
+              Plan_cache.coalesce cache key ~solve:(fun () ->
+                  let allocation, tape_use, warm_use = run_miss () in
+                  leader_uses := Some (tape_use, warm_use);
+                  allocation)
+            in
+            match role with
+            | `Leader ->
+                let tape_use, warm_use = Option.get !leader_uses in
+                ( allocation,
+                  {
+                    tape = (match tape_use with `Hit -> Hit | `Miss -> Miss);
+                    warm = warm_use;
+                    solve_skipped = allocation.solver.iterations = 0;
+                    coalesced = false;
+                  } )
+            | `Follower ->
+                (* Served by the leader's solve: the tape is resident
+                   by now and this request never entered the solver. *)
+                ( allocation,
+                  { tape = Hit; warm = Hit; solve_skipped = true; coalesced = true }
+                ))
       in
       emit_cache_counter obs outcome;
       (allocation, outcome)

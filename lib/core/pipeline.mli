@@ -139,9 +139,15 @@ type cache_outcome = {
   warm : cache_use;
   solve_skipped : bool;
       (** the allocation was served without entering the solver (an
-          exact warm-cache hit), or the solver accepted a caller-
-          supplied warm start outright — see
+          exact warm-cache hit, or a coalesced follower), or the
+          solver accepted a caller-supplied warm start outright — see
           {!Convex.Solver.options.accept_warm_start} *)
+  coalesced : bool;
+      (** this request was a cache miss served by a {e concurrent}
+          identical request's solve ({!Plan_cache.coalesce}): it
+          blocked on the in-flight solve and shares its result instead
+          of solving again.  Requests carrying an explicit [x0] are
+          never coalesced (the seed is not part of the cache key). *)
 }
 
 type plan = {

@@ -7,16 +7,34 @@ type stats = {
   warm_shape_hits : int;
   warm_procs_hits : int;
   warm_misses : int;
+  coalesce_leaders : int;
+  coalesce_hits : int;
   tape_entries : int;
   warm_entries : int;
 }
 
 type warm_hit = Exact of Allocation.result | Seed of Numeric.Vec.t
 
+(* One in-flight solve.  Waiters block on [fcond] (paired with the
+   cache's global mutex) until the leader publishes; the record
+   outlives its table entry, so a waiter that was registered before
+   the leader finished still observes the outcome after removal. *)
+type flight = {
+  fcond : Condition.t;
+  mutable fstate : flight_state;
+  mutable fwaiters : int;
+}
+
+and flight_state =
+  | Pending
+  | Done of Allocation.result
+  | Failed of exn
+
 type t = {
   lock : Mutex.t;
   tapes : (key, Convex.Solver.compiled) Lru.t;
   warm_exact : (key, Allocation.result) Lru.t;
+  inflight : (key, flight) Hashtbl.t;
   (* Latest optimum per graph shape, per machine size: the nested
      [procs] map is what makes a different-[procs] request on a known
      shape answerable (by rescaling the nearest stored optimum) rather
@@ -32,6 +50,8 @@ type t = {
   mutable warm_shape_hits : int;
   mutable warm_procs_hits : int;
   mutable warm_misses : int;
+  mutable coalesce_leaders : int;
+  mutable coalesce_hits : int;
 }
 
 (* Machine sizes are powers of two in practice, so a handful of
@@ -46,12 +66,15 @@ let create ?(max_tapes = 64) ?(max_warm = 512) ?(max_shapes = 256) () =
     tapes = Lru.create max_tapes;
     warm_exact = Lru.create max_warm;
     warm_shape = Lru.create max_shapes;
+    inflight = Hashtbl.create 16;
     tape_hits = 0;
     tape_misses = 0;
     warm_hits = 0;
     warm_shape_hits = 0;
     warm_procs_hits = 0;
     warm_misses = 0;
+    coalesce_leaders = 0;
+    coalesce_hits = 0;
   }
 
 let locked t f = Mutex.protect t.lock f
@@ -184,6 +207,69 @@ let store_warm t key result =
          | None -> ());
       Hashtbl.replace by_procs key.procs result.solver.x)
 
+(* ------------------------------------------------------------------ *)
+(* Singleflight coalescing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let coalesce t key ~solve =
+  let role =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.inflight key with
+        | Some f ->
+            f.fwaiters <- f.fwaiters + 1;
+            `Follow f
+        | None ->
+            let f = { fcond = Condition.create (); fstate = Pending; fwaiters = 0 } in
+            Hashtbl.replace t.inflight key f;
+            t.coalesce_leaders <- t.coalesce_leaders + 1;
+            `Lead f)
+  in
+  match role with
+  | `Lead f -> (
+      (* The solve runs outside the lock: it re-enters the cache
+         ([tape]/[warm]/[store_warm]) and can take hundreds of
+         milliseconds.  Publication removes the flight first, so a
+         request arriving after completion starts fresh (and will find
+         the stored warm entry instead of a stale flight). *)
+      let publish state =
+        locked t (fun () ->
+            f.fstate <- state;
+            Hashtbl.remove t.inflight key;
+            Condition.broadcast f.fcond)
+      in
+      match solve () with
+      | r ->
+          publish (Done (copy_result r));
+          (r, `Leader)
+      | exception exn ->
+          publish (Failed exn);
+          raise exn)
+  | `Follow f -> (
+      let outcome =
+        locked t (fun () ->
+            let rec wait () =
+              match f.fstate with
+              | Pending ->
+                  Condition.wait f.fcond t.lock;
+                  wait ()
+              | Done r ->
+                  t.coalesce_hits <- t.coalesce_hits + 1;
+                  Done (copy_result r)
+              | Failed _ as s -> s
+            in
+            wait ())
+      in
+      match outcome with
+      | Done r -> (r, `Follower)
+      | Failed exn -> raise exn
+      | Pending -> assert false)
+
+let waiting t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.inflight key with
+      | Some f -> f.fwaiters
+      | None -> 0)
+
 let stats t =
   locked t (fun () ->
       {
@@ -193,6 +279,8 @@ let stats t =
         warm_shape_hits = t.warm_shape_hits;
         warm_procs_hits = t.warm_procs_hits;
         warm_misses = t.warm_misses;
+        coalesce_leaders = t.coalesce_leaders;
+        coalesce_hits = t.coalesce_hits;
         tape_entries = Lru.length t.tapes;
         warm_entries = Lru.length t.warm_exact;
       })
@@ -202,9 +290,14 @@ let clear t =
       Lru.clear t.tapes;
       Lru.clear t.warm_exact;
       Lru.clear t.warm_shape;
+      (* In-flight solves are left alone: their leaders publish to the
+         flight records the waiters hold directly, so clearing mid-solve
+         cannot strand anyone. *)
       t.tape_hits <- 0;
       t.tape_misses <- 0;
       t.warm_hits <- 0;
       t.warm_shape_hits <- 0;
       t.warm_procs_hits <- 0;
-      t.warm_misses <- 0)
+      t.warm_misses <- 0;
+      t.coalesce_leaders <- 0;
+      t.coalesce_hits <- 0)

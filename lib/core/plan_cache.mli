@@ -27,6 +27,11 @@
     ignores node labels, requests for the same computation under
     different names share entries.
 
+    A third structure, the {b in-flight table}, coalesces concurrent
+    identical misses: while one domain is solving a key, every other
+    request for the same key blocks on the flight and shares the one
+    result instead of solving again (see {!coalesce}).
+
     All operations are thread-safe (one internal mutex; compilation
     itself happens outside the lock).  Entry counts are bounded;
     insertion beyond the bound evicts the {e least recently used}
@@ -46,6 +51,8 @@ type stats = {
   warm_shape_hits : int; (** same-shape, same-procs, different-fingerprint hits *)
   warm_procs_hits : int; (** same-shape, different-procs rescaled hits *)
   warm_misses : int;
+  coalesce_leaders : int; (** in-flight solves led (one per coalesced group) *)
+  coalesce_hits : int;    (** requests served by another request's solve *)
   tape_entries : int;
   warm_entries : int;
 }
@@ -90,6 +97,37 @@ val tape_cached : t -> key -> bool
 val store_warm : t -> key -> Allocation.result -> unit
 (** Record a completed solve under the exact key, and its optimum as
     the shape's most-recent seed. *)
+
+(** {2 Singleflight coalescing}
+
+    Under concurrent load, N identical cache misses arriving together
+    would cost N cold solves of the same convex program.  {!coalesce}
+    collapses them: the first caller for a key becomes the {e leader}
+    and runs [solve] (outside the cache lock); every caller that
+    arrives while that solve is in flight blocks and receives the
+    leader's result (a private copy) without entering the solver.  If
+    the leader's [solve] raises, the exception is re-raised in {e
+    every} waiter — a failed solve wakes its followers with the error,
+    it never hangs them — and nothing is published, so a later request
+    retries from scratch.
+
+    Coalescing is only sound when the key fully determines the result:
+    callers whose solve depends on extra inputs (an explicit [x0]
+    seed) must bypass it. *)
+
+val coalesce :
+  t ->
+  key ->
+  solve:(unit -> Allocation.result) ->
+  Allocation.result * [ `Leader | `Follower ]
+(** [`Leader] ran [solve] itself; [`Follower] was served by a
+    concurrent leader's solve.  Either way the arrays in the returned
+    result are private to the caller. *)
+
+val waiting : t -> key -> int
+(** Number of followers currently blocked on [key]'s in-flight solve
+    (0 when none is in flight) — introspection for tests and
+    telemetry. *)
 
 val stats : t -> stats
 

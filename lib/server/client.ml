@@ -47,15 +47,15 @@ let plan ?params ?pb t graph ~procs =
   in
   match reply with
   | Protocol.Plan_reply s -> Ok s
-  | Protocol.Error_reply { kind; message } ->
+  | Protocol.Error_reply { kind; message; _ } ->
       Error (Printf.sprintf "%s: %s" kind message)
   | _ -> Error "unexpected reply to plan request"
 
 let stats t =
   let* _id, reply = rpc t (Protocol.encode_stats_request ~id:(fresh_id t) ()) in
   match reply with
-  | Protocol.Stats_reply s -> Ok s
-  | Protocol.Error_reply { kind; message } ->
+  | Protocol.Stats_reply { cache; server } -> Ok (cache, server)
+  | Protocol.Error_reply { kind; message; _ } ->
       Error (Printf.sprintf "%s: %s" kind message)
   | _ -> Error "unexpected reply to stats request"
 
@@ -63,6 +63,6 @@ let ping t =
   let* _id, reply = rpc t (Protocol.encode_ping_request ~id:(fresh_id t) ()) in
   match reply with
   | Protocol.Pong -> Ok ()
-  | Protocol.Error_reply { kind; message } ->
+  | Protocol.Error_reply { kind; message; _ } ->
       Error (Printf.sprintf "%s: %s" kind message)
   | _ -> Error "unexpected reply to ping"

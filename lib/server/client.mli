@@ -33,8 +33,14 @@ val plan :
   procs:int ->
   (Protocol.plan_summary, string) result
 (** Request a plan; [Error] renders protocol error replies as
-    ["kind: message"]. *)
+    ["kind: message"] (a shed request reads ["overloaded: ..."] — the
+    server closes the connection after that reply, so retry on a fresh
+    {!connect}). *)
 
-val stats : t -> (Core.Plan_cache.stats, string) result
+val stats :
+  t ->
+  (Core.Plan_cache.stats * Protocol.server_stats option, string) result
+(** Cache statistics plus, when the peer is a live daemon, its
+    serving-side counters (queue depth, sheds, latency buckets). *)
 
 val ping : t -> (unit, string) result

@@ -3,6 +3,7 @@ type options = {
   port : int;
   workers : int;
   backlog : int;
+  max_pending : int;
   config : Core.Pipeline.config;
   default_params : Costmodel.Params.t Lazy.t;
 }
@@ -13,9 +14,18 @@ let default_options =
     port = 0;
     workers = 4;
     backlog = 64;
+    max_pending = 64;
     config = Core.Pipeline.default_config;
     default_params = lazy (Costmodel.Params.cm5 ());
   }
+
+(* Per-op latency histogram bucket upper bounds (ms); the final bucket
+   is the overflow.  Log-spaced: the interesting split is protocol-only
+   ops (sub-ms), cache hits (~1 ms), warm solves (~10 ms) and cold
+   solves (~100 ms+). *)
+let latency_bounds_ms = [| 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1000.0 |]
+
+let latency_ops = [| "plan"; "stats"; "ping"; "error" |]
 
 type t = {
   options : options;
@@ -26,9 +36,18 @@ type t = {
   stopping : bool Atomic.t;
   served : int Atomic.t;
   accepted : int Atomic.t;
+  shed : int Atomic.t;
   queue : Unix.file_descr Queue.t;
   lock : Mutex.t;
   nonempty : Condition.t;
+  (* Workers currently holding a connection; guarded by [lock].  The
+     admission invariant is [busy + Queue.length queue <= workers +
+     max_pending]: a connection is admitted only if a worker slot or a
+     pending slot is free for it, otherwise it is shed. *)
+  mutable busy : int;
+  (* latency.(op).(bucket) counts answered requests; guarded by [lock]
+     (one increment per request — negligible next to the request). *)
+  latency : int array array;
   mutable domains : unit Domain.t list;
 }
 
@@ -113,10 +132,29 @@ let plan_config t (req : Protocol.plan_request) =
         psa_options = { config.psa_options with pb = Core.Psa.Fixed pb };
       }
 
+let server_stats t =
+  let queue_depth, latency =
+    Mutex.protect t.lock (fun () ->
+        (Queue.length t.queue, Array.map Array.copy t.latency))
+  in
+  {
+    Protocol.queue_depth;
+    max_pending = t.options.max_pending;
+    shed = Atomic.get t.shed;
+    accepted = Atomic.get t.accepted;
+    served = Atomic.get t.served;
+    bounds_ms = Array.copy latency_bounds_ms;
+    latency =
+      List.init (Array.length latency_ops) (fun i ->
+          { Protocol.op = latency_ops.(i); buckets = latency.(i) });
+  }
+
 let handle t ~id request =
   match request with
   | Protocol.Ping -> Protocol.pong_reply ~id
-  | Protocol.Stats -> Protocol.stats_reply ~id (Core.Plan_cache.stats t.cache)
+  | Protocol.Stats ->
+      Protocol.stats_reply ~id ~server:(server_stats t)
+        (Core.Plan_cache.stats t.cache)
   | Protocol.Plan req -> (
       let params =
         match req.params with
@@ -131,19 +169,39 @@ let handle t ~id request =
       | Ok plan -> Protocol.plan_reply ~id plan
       | Error e -> Protocol.pipeline_error_reply ~id e)
 
+let op_index = function
+  | Protocol.Plan _ -> 0
+  | Protocol.Stats -> 1
+  | Protocol.Ping -> 2
+
+let error_op = 3
+
+let record_latency t ~op dt_ms =
+  let n = Array.length latency_bounds_ms in
+  let b = ref 0 in
+  while !b < n && dt_ms > latency_bounds_ms.(!b) do
+    incr b
+  done;
+  Mutex.protect t.lock (fun () ->
+      t.latency.(op).(!b) <- t.latency.(op).(!b) + 1)
+
 let answer t line =
-  let reply =
+  let t0 = Unix.gettimeofday () in
+  let op, reply =
     match Protocol.decode_request line with
-    | Error (id, msg) -> Protocol.error_reply ~id ~kind:"protocol_error" msg
+    | Error (id, msg) ->
+        (error_op, Protocol.error_reply ~id ~kind:"protocol_error" msg)
     | Ok (id, request) -> (
         match handle t ~id request with
-        | reply -> reply
+        | reply -> (op_index request, reply)
         | exception exn ->
             (* A bug in a pipeline stage must not take the worker (and
                with it every queued connection) down. *)
-            Protocol.error_reply ~id ~kind:"internal_error"
-              (Printexc.to_string exn))
+            ( error_op,
+              Protocol.error_reply ~id ~kind:"internal_error"
+                (Printexc.to_string exn) ))
   in
+  record_latency t ~op (1e3 *. (Unix.gettimeofday () -. t0));
   Atomic.incr t.served;
   Json.to_string reply
 
@@ -192,7 +250,9 @@ let worker_loop t =
       Mutex.protect t.lock (fun () ->
           let rec wait () =
             match Queue.take_opt t.queue with
-            | Some fd -> Some fd
+            | Some fd ->
+                t.busy <- t.busy + 1;
+                Some fd
             | None ->
                 if Atomic.get t.stopping then None
                 else begin
@@ -204,11 +264,44 @@ let worker_loop t =
     in
     match job with
     | Some fd ->
-        serve_connection t fd;
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.protect t.lock (fun () -> t.busy <- t.busy - 1))
+          (fun () -> serve_connection t fd);
         next ()
     | None -> ()
   in
   next ()
+
+(* How long a shed client should wait before retrying: roughly the
+   time for the connections ahead of it to drain, assuming each holds
+   its worker for about one warm request burst. *)
+let retry_after_ms t ~in_system =
+  max 25 (50 * in_system / max 1 t.options.workers)
+
+(* Over capacity: answer with the typed [overloaded] error (carrying
+   the retry hint) and close.  Best-effort — the reply is one short
+   line, which fits a fresh socket's send buffer; a short send timeout
+   keeps a dead peer from stalling the acceptor. *)
+let shed_connection t fd ~in_system =
+  Atomic.incr t.shed;
+  if Obs.enabled t.obs then
+    Obs.counter t.obs "server.queue"
+      [
+        ("shed", float_of_int (Atomic.get t.shed));
+        ("depth", float_of_int (in_system - t.options.workers));
+      ];
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO poll_interval
+   with Unix.Unix_error _ -> ());
+  (match
+     write_line fd
+       (Json.to_string
+          (Protocol.overloaded_reply ~id:Json.Null
+             ~retry_after_ms:(retry_after_ms t ~in_system)))
+   with
+  | (_ : bool) -> ()
+  | exception Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
 
 let acceptor_loop t =
   let rec loop () =
@@ -217,13 +310,36 @@ let acceptor_loop t =
       | [ _ ], _, _ -> (
           match Unix.accept ~cloexec:true t.listen_fd with
           | fd, _ ->
-              Atomic.incr t.accepted;
-              if Obs.enabled t.obs then
-                Obs.counter t.obs "server.requests"
-                  [ ("connections", float_of_int (Atomic.get t.accepted)) ];
-              Mutex.protect t.lock (fun () ->
-                  Queue.add fd t.queue;
-                  Condition.signal t.nonempty)
+              (* Admission control: the connections in the system
+                 (being served + waiting) may not exceed the worker
+                 pool plus [max_pending] waiting slots.  Beyond that,
+                 queueing would only grow latency without bound — shed
+                 instead. *)
+              let admitted, in_system =
+                Mutex.protect t.lock (fun () ->
+                    let in_system = t.busy + Queue.length t.queue in
+                    if
+                      in_system
+                      >= t.options.workers + t.options.max_pending
+                    then (false, in_system)
+                    else begin
+                      Queue.add fd t.queue;
+                      Condition.signal t.nonempty;
+                      (true, in_system + 1)
+                    end)
+              in
+              if admitted then begin
+                Atomic.incr t.accepted;
+                if Obs.enabled t.obs then
+                  Obs.counter t.obs "server.requests"
+                    [
+                      ("connections", float_of_int (Atomic.get t.accepted));
+                      ( "queue_depth",
+                        float_of_int (max 0 (in_system - t.options.workers))
+                      );
+                    ]
+              end
+              else shed_connection t fd ~in_system
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
       | _ -> ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -237,6 +353,8 @@ let acceptor_loop t =
 
 let start ?(options = default_options) () =
   if options.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if options.max_pending < 0 then
+    invalid_arg "Server.start: max_pending must be >= 0";
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   let t =
@@ -264,9 +382,14 @@ let start ?(options = default_options) () =
         stopping = Atomic.make false;
         served = Atomic.make 0;
         accepted = Atomic.make 0;
+        shed = Atomic.make 0;
         queue = Queue.create ();
         lock = Mutex.create ();
         nonempty = Condition.create ();
+        busy = 0;
+        latency =
+          Array.init (Array.length latency_ops) (fun _ ->
+              Array.make (Array.length latency_bounds_ms + 1) 0);
         domains = [];
       }
     with exn ->
@@ -289,6 +412,10 @@ let stats t = Core.Plan_cache.stats t.cache
 let requests_served t = Atomic.get t.served
 
 let connections_accepted t = Atomic.get t.accepted
+
+let connections_shed t = Atomic.get t.shed
+
+let queue_depth t = Mutex.protect t.lock (fun () -> Queue.length t.queue)
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin

@@ -3,11 +3,16 @@
 
     A server owns a TCP listening socket and a fixed pool of worker
     domains (OCaml 5 [Domain]s).  An acceptor domain hands accepted
-    connections to the pool through a bounded-latency queue; each
-    worker speaks the newline-delimited JSON protocol ({!Protocol})
-    for the lifetime of its connection, answering every request line
-    with exactly one reply line.  Malformed input produces an
-    [Error_reply], never a crash or a dropped connection.
+    connections to the pool through a {e bounded} queue: at most
+    [workers + max_pending] connections are in the system at once, and
+    a connection beyond that is shed with a fast typed [overloaded]
+    reply (plus retry hint) instead of queueing forever — overload
+    degrades into explicit, retryable errors rather than unbounded
+    latency.  Each worker speaks the newline-delimited JSON protocol
+    ({!Protocol}) for the lifetime of its connection, answering every
+    request line with exactly one reply line.  Malformed input
+    produces an [Error_reply], never a crash or a dropped
+    connection.
 
     All workers share one {!Core.Plan_cache} through the
     {!Core.Pipeline.config} they plan with, so the compiled-tape and
@@ -22,17 +27,34 @@
     within the poll interval, and [stop] returns only after every
     domain has joined.
 
+    All workers also coalesce concurrent identical cache misses
+    through the shared cache's singleflight table
+    ({!Core.Plan_cache.coalesce}): N clients hammering one uncached
+    key cost one solve, not N.
+
     Telemetry: the configured sink is wrapped in {!Obs.Sink.locking}
     and receives ["server.connection"] spans, ["server.request"]
-    spans (per request line, covering decode → plan → reply) and a
-    ["server.requests"] counter, in addition to the pipeline's own
-    spans and cache counters. *)
+    spans (per request line, covering decode → plan → reply), a
+    ["server.requests"] counter (connections admitted + queue depth)
+    and a ["server.queue"] counter (shed total + depth at shed time),
+    in addition to the pipeline's own spans and cache counters
+    (["pipeline.cache"] now carries a [coalesced] flag).  The [stats]
+    op and {!server_stats} expose queue depth, shed counts and per-op
+    latency histograms. *)
 
 type options = {
   addr : string;  (** listen address, default ["127.0.0.1"] *)
   port : int;  (** TCP port; [0] picks an ephemeral port (see {!port}) *)
   workers : int;  (** worker-domain pool size *)
   backlog : int;  (** listen backlog *)
+  max_pending : int;
+      (** bound on admitted connections {e waiting} for a worker.  A
+          connection arriving when [workers + max_pending] connections
+          are already in the system (being served or waiting) is {b
+          shed}: it is answered one {!Protocol.overloaded_reply} line
+          (typed [overloaded] error with a [retry_after_ms] hint) and
+          closed instead of queueing without bound.  [0] disables
+          waiting entirely — admit only when a worker is free. *)
   config : Core.Pipeline.config;
       (** base planning configuration; if it carries no cache the
           server installs a fresh shared {!Core.Plan_cache} *)
@@ -41,8 +63,9 @@ type options = {
 }
 
 val default_options : options
-(** Loopback, ephemeral port, 4 workers, default pipeline config (a
-    fresh cache is installed), CM-5 paper constants. *)
+(** Loopback, ephemeral port, 4 workers, 64 pending slots, default
+    pipeline config (a fresh cache is installed), CM-5 paper
+    constants. *)
 
 type t
 
@@ -59,10 +82,22 @@ val cache : t -> Core.Plan_cache.t
 
 val stats : t -> Core.Plan_cache.stats
 
+val server_stats : t -> Protocol.server_stats
+(** Serving-side counters: current queue depth, shed/accepted/served
+    totals and the per-op latency histograms (the same snapshot the
+    [stats] op returns in its ["server"] section). *)
+
 val requests_served : t -> int
 (** Total request lines answered (including error replies). *)
 
 val connections_accepted : t -> int
+(** Connections admitted to the worker queue (shed ones excluded). *)
+
+val connections_shed : t -> int
+(** Connections refused with the [overloaded] reply. *)
+
+val queue_depth : t -> int
+(** Admitted connections currently waiting for a worker. *)
 
 val stop : t -> unit
 (** Graceful shutdown as described above.  Idempotent. *)

@@ -164,13 +164,26 @@ type plan_summary = {
   tape_cache : string;
   warm_cache : string;
   solve_skipped : bool;
+  coalesced : bool;
+}
+
+type op_latency = { op : string; buckets : int array }
+
+type server_stats = {
+  queue_depth : int;
+  max_pending : int;
+  shed : int;
+  accepted : int;
+  served : int;
+  bounds_ms : float array;
+  latency : op_latency list;
 }
 
 type reply =
   | Plan_reply of plan_summary
-  | Stats_reply of Core.Plan_cache.stats
+  | Stats_reply of { cache : Core.Plan_cache.stats; server : server_stats option }
   | Pong
-  | Error_reply of { kind : string; message : string }
+  | Error_reply of { kind : string; message : string; retry_after_ms : int option }
 
 let cache_use_to_string : Core.Pipeline.cache_use -> string = function
   | Hit -> "hit"
@@ -204,27 +217,59 @@ let plan_reply ~id (plan : Core.Pipeline.plan) =
                ("tape", Json.Str (cache_use_to_string plan.cache.tape));
                ("warm", Json.Str (cache_use_to_string plan.cache.warm));
                ("solve_skipped", Json.Bool plan.cache.solve_skipped);
+               ("coalesced", Json.Bool plan.cache.coalesced);
              ] );
        ])
 
-let stats_reply ~id (s : Core.Plan_cache.stats) =
+let server_stats_to_json (s : server_stats) =
+  Json.Obj
+    [
+      ("queue_depth", Json.int s.queue_depth);
+      ("max_pending", Json.int s.max_pending);
+      ("shed", Json.int s.shed);
+      ("accepted", Json.int s.accepted);
+      ("served", Json.int s.served);
+      ( "latency",
+        Json.Obj
+          [
+            ("bounds_ms", Json.float_array s.bounds_ms);
+            ( "ops",
+              Json.List
+                (List.map
+                   (fun l ->
+                     Json.Obj
+                       [
+                         ("op", Json.Str l.op);
+                         ("buckets", Json.int_array l.buckets);
+                       ])
+                   s.latency) );
+          ] );
+    ]
+
+let stats_reply ~id ?server (s : Core.Plan_cache.stats) =
   Json.Obj
     (with_id id
-       [
-         ("status", Json.Str "ok");
-         ( "stats",
-           Json.Obj
-             [
-               ("tape_hits", Json.int s.tape_hits);
-               ("tape_misses", Json.int s.tape_misses);
-               ("warm_hits", Json.int s.warm_hits);
-               ("warm_shape_hits", Json.int s.warm_shape_hits);
-               ("warm_procs_hits", Json.int s.warm_procs_hits);
-               ("warm_misses", Json.int s.warm_misses);
-               ("tape_entries", Json.int s.tape_entries);
-               ("warm_entries", Json.int s.warm_entries);
-             ] );
-       ])
+       ([
+          ("status", Json.Str "ok");
+          ( "stats",
+            Json.Obj
+              [
+                ("tape_hits", Json.int s.tape_hits);
+                ("tape_misses", Json.int s.tape_misses);
+                ("warm_hits", Json.int s.warm_hits);
+                ("warm_shape_hits", Json.int s.warm_shape_hits);
+                ("warm_procs_hits", Json.int s.warm_procs_hits);
+                ("warm_misses", Json.int s.warm_misses);
+                ("coalesce_leaders", Json.int s.coalesce_leaders);
+                ("coalesce_hits", Json.int s.coalesce_hits);
+                ("tape_entries", Json.int s.tape_entries);
+                ("warm_entries", Json.int s.warm_entries);
+              ] );
+        ]
+       @
+       match server with
+       | None -> []
+       | Some srv -> [ ("server", server_stats_to_json srv) ]))
 
 let pong_reply ~id = Json.Obj (with_id id [ ("status", Json.Str "ok") ])
 
@@ -235,6 +280,22 @@ let error_reply ~id ~kind message =
          ("status", Json.Str "error");
          ("kind", Json.Str kind);
          ("message", Json.Str message);
+       ])
+
+let overloaded_kind = "overloaded"
+
+let overloaded_reply ~id ~retry_after_ms =
+  Json.Obj
+    (with_id id
+       [
+         ("status", Json.Str "error");
+         ("kind", Json.Str overloaded_kind);
+         ( "message",
+           Json.Str
+             (Printf.sprintf
+                "server overloaded: request shed; retry after ~%d ms"
+                retry_after_ms) );
+         ("retry_after_ms", Json.int retry_after_ms);
        ])
 
 let pipeline_error_reply ~id err =
@@ -287,6 +348,12 @@ let decode_plan_summary j =
     | Some (Json.Bool b) -> Ok b
     | _ -> Error "field \"solve_skipped\": expected a bool"
   in
+  let* coalesced =
+    match Json.member "coalesced" cache with
+    | Some (Json.Bool b) -> Ok b
+    | None -> Ok false
+    | Some _ -> Error "field \"coalesced\": expected a bool"
+  in
   Ok
     {
       phi;
@@ -303,6 +370,7 @@ let decode_plan_summary j =
       tape_cache;
       warm_cache;
       solve_skipped;
+      coalesced;
     }
 
 let decode_stats j =
@@ -313,6 +381,8 @@ let decode_stats j =
   let* warm_shape_hits = Json.int_field "warm_shape_hits" s in
   let* warm_procs_hits = Json.int_field "warm_procs_hits" s in
   let* warm_misses = Json.int_field "warm_misses" s in
+  let* coalesce_leaders = Json.int_field "coalesce_leaders" s in
+  let* coalesce_hits = Json.int_field "coalesce_hits" s in
   let* tape_entries = Json.int_field "tape_entries" s in
   let* warm_entries = Json.int_field "warm_entries" s in
   Ok
@@ -323,9 +393,55 @@ let decode_stats j =
       warm_shape_hits;
       warm_procs_hits;
       warm_misses;
+      coalesce_leaders;
+      coalesce_hits;
       tape_entries;
       warm_entries;
     }
+
+let decode_server_stats j =
+  match Json.member "server" j with
+  | None | Some Json.Null -> Ok None
+  | Some s ->
+      let* queue_depth = Json.int_field "queue_depth" s in
+      let* max_pending = Json.int_field "max_pending" s in
+      let* shed = Json.int_field "shed" s in
+      let* accepted = Json.int_field "accepted" s in
+      let* served = Json.int_field "served" s in
+      let* lat = Json.field "latency" s in
+      let* bounds = Result.bind (Json.field "bounds_ms" lat) Json.to_list in
+      let* bounds_ms =
+        let rec go acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | x :: rest ->
+              let* x = Json.to_num x in
+              go (x :: acc) rest
+        in
+        go [] bounds
+      in
+      let* ops = Result.bind (Json.field "ops" lat) Json.to_list in
+      let* latency =
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | o :: rest ->
+              let* op = Json.str_field "op" o in
+              let* bl = Result.bind (Json.field "buckets" o) Json.to_list in
+              let* buckets =
+                let rec ints acc = function
+                  | [] -> Ok (Array.of_list (List.rev acc))
+                  | x :: rest ->
+                      let* x = Json.to_int x in
+                      ints (x :: acc) rest
+                in
+                ints [] bl
+              in
+              go ({ op; buckets } :: acc) rest
+        in
+        go [] ops
+      in
+      Ok
+        (Some
+           { queue_depth; max_pending; shed; accepted; served; bounds_ms; latency })
 
 let decode_reply line =
   let* j = Json.of_string line in
@@ -335,13 +451,19 @@ let decode_reply line =
   | "error" ->
       let* kind = Json.str_field "kind" j in
       let* message = Json.str_field "message" j in
-      Ok (id, Error_reply { kind; message })
+      let* retry_after_ms =
+        match Json.member "retry_after_ms" j with
+        | None | Some Json.Null -> Ok None
+        | Some v -> Result.map Option.some (Json.to_int v)
+      in
+      Ok (id, Error_reply { kind; message; retry_after_ms })
   | "ok" ->
       if Json.member "phi" j <> None then
         let* s = decode_plan_summary j in
         Ok (id, Plan_reply s)
       else if Json.member "stats" j <> None then
-        let* s = decode_stats j in
-        Ok (id, Stats_reply s)
+        let* cache = decode_stats j in
+        let* server = decode_server_stats j in
+        Ok (id, Stats_reply { cache; server })
       else Ok (id, Pong)
   | other -> Error (Printf.sprintf "unknown status %S" other)

@@ -41,8 +41,11 @@
     Failures — malformed JSON, an invalid MDG, or any typed
     {!Core.Pipeline.error} — answer [status = "error"] with a
     machine-readable ["kind"] (the {!Core.Pipeline.error_kind} tags
-    plus ["protocol_error"]) and a human-readable ["message"].  A
-    malformed line never terminates the connection. *)
+    plus ["protocol_error"] and ["overloaded"]) and a human-readable
+    ["message"].  A malformed line never terminates the connection;
+    an ["overloaded"] shed reply (carrying a ["retry_after_ms"] hint)
+    is the one reply after which the server closes the connection —
+    the request was never admitted. *)
 
 (** {2 Requests} *)
 
@@ -99,21 +102,51 @@ type plan_summary = {
   tape_cache : string;  (** ["hit"] / ["miss"] / ["off"] *)
   warm_cache : string;  (** plus ["shape_hit"] *)
   solve_skipped : bool;
+  coalesced : bool;
+      (** served by a concurrent identical request's solve
+          ({!Core.Plan_cache.coalesce}) *)
+}
+
+type op_latency = { op : string; buckets : int array }
+(** Latency histogram for one op: [buckets] has one count per bound in
+    {!server_stats.bounds_ms} plus a final overflow bucket. *)
+
+(** Daemon-side serving statistics, carried in the [stats] reply's
+    ["server"] section (absent when the reply was produced by
+    something other than a live daemon). *)
+type server_stats = {
+  queue_depth : int;  (** connections admitted but not yet taken by a worker *)
+  max_pending : int;  (** the daemon's accept-queue bound *)
+  shed : int;  (** connections answered [overloaded] and closed *)
+  accepted : int;  (** connections admitted to the queue *)
+  served : int;  (** request lines answered *)
+  bounds_ms : float array;  (** histogram bucket upper bounds, ms *)
+  latency : op_latency list;  (** per-op latency histograms *)
 }
 
 type reply =
   | Plan_reply of plan_summary
-  | Stats_reply of Core.Plan_cache.stats
+  | Stats_reply of { cache : Core.Plan_cache.stats; server : server_stats option }
   | Pong
-  | Error_reply of { kind : string; message : string }
+  | Error_reply of { kind : string; message : string; retry_after_ms : int option }
+      (** [retry_after_ms] is only set on [overloaded] shed replies *)
 
 val plan_reply : id:Json.t -> Core.Pipeline.plan -> Json.t
 
-val stats_reply : id:Json.t -> Core.Plan_cache.stats -> Json.t
+val stats_reply : id:Json.t -> ?server:server_stats -> Core.Plan_cache.stats -> Json.t
 
 val pong_reply : id:Json.t -> Json.t
 
 val error_reply : id:Json.t -> kind:string -> string -> Json.t
+
+val overloaded_kind : string
+(** The error-reply kind of a shed request: ["overloaded"]. *)
+
+val overloaded_reply : id:Json.t -> retry_after_ms:int -> Json.t
+(** The load-shedding reply: [status = "error"], [kind =
+    {!overloaded_kind}], and a ["retry_after_ms"] hint after which the
+    client should retry.  Sent by the daemon when the accept queue is
+    over capacity, before closing the connection. *)
 
 val pipeline_error_reply : id:Json.t -> Core.Pipeline.error -> Json.t
 

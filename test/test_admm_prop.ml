@@ -137,7 +137,11 @@ let check_residual_history fail g ~procs =
         (fun (pr, _) -> if pr < !best then best := pr)
         res;
       let last_pr, _ = res.(Array.length res - 1) in
-      if a.Convex.Admm.converged && last_pr > !best then
+      (* Guard band at numerical zero: residuals this deep in the
+         stopping band wobble by ULPs (a run can touch exactly 0.0 and
+         stop one rounding error above it). *)
+      let zero_band = 1e-15 in
+      if a.Convex.Admm.converged && last_pr > !best +. zero_band then
         fail
           (Printf.sprintf
              "converged run stopped at primal %.3g above its best %.3g"

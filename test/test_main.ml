@@ -24,6 +24,7 @@ let () =
       ("expand", Test_expand.suite);
       ("server", Test_server.suite);
       ("cache-prop", Test_cache_prop.suite);
+      ("coalesce", Test_coalesce.suite);
       ("workgen-prop", Test_workgen_prop.suite);
       ("admm-prop", Test_admm_prop.suite);
       ("par-tape", Test_par_tape.suite);

@@ -218,8 +218,20 @@ let test_server_cache_over_wire () =
   Alcotest.(check bool) "phi unchanged" true
     (Float.abs (second.phi -. first.phi)
     <= 1e-6 *. (1.0 +. Float.abs first.phi));
-  let stats = get (Client.stats c) in
+  let stats, server = get (Client.stats c) in
   Alcotest.(check bool) "stats counted the hit" true (stats.tape_hits >= 1);
+  (match server with
+  | None -> Alcotest.fail "stats reply carries no server section"
+  | Some (srv : Protocol.server_stats) ->
+      (* The stats line itself is counted only after its reply is
+         built, so the snapshot covers the two completed plans. *)
+      Alcotest.(check bool) "server served the requests" true (srv.served >= 2);
+      Alcotest.(check int) "nothing shed" 0 srv.shed;
+      let total = Array.fold_left ( + ) 0 in
+      Alcotest.(check bool) "plan latencies bucketed" true
+        (List.exists
+           (fun (l : Protocol.op_latency) -> l.op = "plan" && total l.buckets >= 2)
+           srv.latency));
   (* Same shape, perturbed constants: tape misses (new fingerprint)
      but the warm cache serves the shape seed. *)
   let params = Costmodel.Params.cm5 () in
@@ -258,6 +270,107 @@ let test_server_concurrent_clients () =
   Alcotest.(check int) "server counted them (plus pings)"
     (domains * per_client)
     (Srv.requests_served srv)
+
+(* Deterministic shed: one worker, zero pending slots.  A ping pins
+   the only worker to the first connection (workers hold a connection
+   until it closes), so the second connection arrives with
+   [workers + max_pending = 1] connections already in the system and
+   must be shed with the typed overloaded reply, then closed. *)
+let test_server_shed_typed () =
+  let options = { Srv.default_options with workers = 1; max_pending = 0 } in
+  with_server ~options @@ fun srv ->
+  with_client srv @@ fun c1 ->
+  get (Client.ping c1);
+  let c2 = Client.connect ~port:(Srv.port srv) () in
+  (match Protocol.decode_reply (get (Client.recv_line c2)) with
+  | Ok (_, Protocol.Error_reply { kind; retry_after_ms; _ }) ->
+      Alcotest.(check string) "typed overloaded error"
+        Protocol.overloaded_kind kind;
+      (match retry_after_ms with
+      | Some ms -> Alcotest.(check bool) "retry hint positive" true (ms > 0)
+      | None -> Alcotest.fail "shed reply carries no retry_after_ms")
+  | Ok _ -> Alcotest.fail "expected an overloaded error reply"
+  | Error msg -> Alcotest.failf "unparseable shed reply: %s" msg);
+  (* The server closes a shed connection right after the reply. *)
+  (match Client.recv_line c2 with
+  | Error _ -> ()
+  | Ok line -> Alcotest.failf "shed connection still open, got %S" line);
+  Client.close c2;
+  Alcotest.(check int) "shed counted" 1 (Srv.connections_shed srv);
+  let _, server = get (Client.stats c1) in
+  (match server with
+  | Some (s : Protocol.server_stats) ->
+      Alcotest.(check int) "shed visible in stats op" 1 s.shed;
+      Alcotest.(check int) "max_pending echoed" 0 s.max_pending
+  | None -> Alcotest.fail "stats reply carries no server section");
+  (* Capacity freed: once c1 closes, a retry is admitted and served. *)
+  Client.close c1;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec retry () =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail "retry after shed never admitted"
+    else
+      let c3 = Client.connect ~port:(Srv.port srv) () in
+      match Client.ping c3 with
+      | Ok () -> Client.close c3
+      | Error _ ->
+          Client.close c3;
+          Unix.sleepf 0.02;
+          retry ()
+  in
+  retry ()
+
+(* Overload stress: more client domains than the server has capacity
+   for, every client retrying shed connections.  Every request must
+   eventually complete, every shed must be the typed overloaded reply
+   (anything else is a failure), and nothing may hang. *)
+let test_server_overload_stress () =
+  let options = { Srv.default_options with workers = 2; max_pending = 1 } in
+  with_server ~options @@ fun srv ->
+  let port = Srv.port srv in
+  let clients = 8 and per_client = 5 in
+  let sheds = Atomic.make 0 in
+  let worker k =
+    Domain.spawn (fun () ->
+        let completed = ref 0 in
+        let attempts = ref 0 in
+        while !completed < per_client do
+          incr attempts;
+          if !attempts > 500 then
+            Alcotest.failf "client %d: gave up after %d attempts" k !attempts;
+          let c = Client.connect ~port () in
+          let tau = 0.5 +. (0.25 *. float_of_int ((k + !completed) mod 3)) in
+          let g = diamond ~tau () in
+          (match Client.plan c g ~procs:8 with
+          | Ok s ->
+              if not (Float.is_finite s.phi && s.phi > 0.0) then
+                Alcotest.failf "client %d: insane plan" k;
+              incr completed
+          | Error msg ->
+              if
+                String.length msg >= 10
+                && String.sub msg 0 10 = Protocol.overloaded_kind
+              then begin
+                Atomic.incr sheds;
+                Unix.sleepf 0.005
+              end
+              else Alcotest.failf "client %d: unexpected error %s" k msg
+          | exception Unix.Unix_error _ ->
+              (* The send raced the server's post-shed close: the shed
+                 was already counted server-side; just retry. *)
+              Unix.sleepf 0.005);
+          Client.close c
+        done;
+        !completed)
+  in
+  let totals = List.init clients worker |> List.map Domain.join in
+  Alcotest.(check (list int)) "every client completed its quota"
+    (List.init clients (fun _ -> per_client))
+    totals;
+  (* With 8 clients against 2 workers + 1 slot, admission control must
+     actually have fired. *)
+  Alcotest.(check bool) "server shed under pressure" true
+    (Srv.connections_shed srv > 0)
 
 let test_server_graceful_shutdown () =
   let srv = Srv.start () in
@@ -308,6 +421,10 @@ let suite =
       test_server_cache_over_wire;
     Alcotest.test_case "server: concurrent clients" `Quick
       test_server_concurrent_clients;
+    Alcotest.test_case "server: over capacity sheds typed" `Quick
+      test_server_shed_typed;
+    Alcotest.test_case "server: overload stress, no hangs" `Quick
+      test_server_overload_stress;
     Alcotest.test_case "server: graceful shutdown drains" `Quick
       test_server_graceful_shutdown;
   ]
